@@ -1,0 +1,276 @@
+// Root benchmark harness: one benchmark per table and figure of the BTS
+// paper's evaluation (see DESIGN.md's experiment index). Each benchmark
+// times the regeneration of its experiment and, on the first iteration,
+// prints the rows the paper reports so that `go test -bench=.` reproduces
+// the entire evaluation section on stdout (EXPERIMENTS.md records a run).
+package bts
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"bts/internal/arch"
+	"bts/internal/eval"
+	"bts/internal/workload"
+)
+
+var printOnce sync.Map
+
+// report prints the experiment output once per benchmark name.
+func report(b *testing.B, body func()) {
+	if _, done := printOnce.LoadOrStore(b.Name(), true); !done {
+		fmt.Printf("\n===== %s =====\n", b.Name())
+		body()
+	}
+}
+
+func BenchmarkTable1_PlatformComparison(b *testing.B) {
+	var rows []eval.Table1Row
+	for i := 0; i < b.N; i++ {
+		rows = eval.Table1()
+	}
+	report(b, func() {
+		var cells [][]string
+		for _, r := range rows {
+			cells = append(cells, []string{
+				r.Platform, fmt.Sprint(r.LogN), fmt.Sprint(r.Slots),
+				fmt.Sprint(r.Bootstrap), r.Parallelism, fmt.Sprintf("%.3g", r.MultPerSec),
+			})
+		}
+		fmt.Print(eval.FormatTable(
+			[]string{"platform", "logN", "slots/bootstrap", "boot", "parallelism", "FHE mult/s"}, cells))
+	})
+}
+
+func BenchmarkFig1_LevelAndEvkVsDnum(b *testing.B) {
+	res := eval.Fig1()
+	for i := 0; i < b.N; i++ {
+		res = eval.Fig1()
+	}
+	report(b, func() {
+		logNs := []int{15, 16, 17, 18}
+		for _, logN := range logNs {
+			rows := res[logN]
+			fmt.Printf("N=2^%d: max dnum=%d, L(dnum=1)=%d, L(max)=%d, evk(dnum=1)=%d MiB, evk agg(max)=%.1f GiB\n",
+				logN, rows[len(rows)-1].Dnum, rows[0].MaxLevel, rows[len(rows)-1].MaxLevel,
+				rows[0].EvkSingleBytes>>20, float64(rows[len(rows)-1].EvkAggBytes)/(1<<30))
+		}
+	})
+}
+
+func BenchmarkFig2_MinBoundTmult(b *testing.B) {
+	var rows []eval.Fig2Row
+	for i := 0; i < b.N; i++ {
+		rows = eval.Fig2()
+	}
+	report(b, func() {
+		// Print the Pareto-relevant points near the 128-bit target.
+		fmt.Println("points with λ ∈ [125, 140] (the paper's target band):")
+		var cells [][]string
+		for _, r := range rows {
+			if r.Lambda < 125 || r.Lambda > 140 || !r.Feasible {
+				continue
+			}
+			cells = append(cells, []string{
+				fmt.Sprintf("2^%d", r.LogN), fmt.Sprint(r.L), fmt.Sprint(r.Dnum),
+				fmt.Sprintf("%.1f", r.Lambda), fmt.Sprintf("%.1f", r.TmultASlotNs),
+			})
+		}
+		sort.Slice(cells, func(i, j int) bool { return cells[i][0] < cells[j][0] })
+		fmt.Print(eval.FormatTable([]string{"N", "L", "dnum", "λ", "Tmult,a/slot (ns)"}, cells))
+	})
+}
+
+func BenchmarkFig3b_ComplexityBreakdown(b *testing.B) {
+	var rows []eval.Fig3bRow
+	for i := 0; i < b.N; i++ {
+		rows = eval.Fig3b()
+	}
+	report(b, func() {
+		var cells [][]string
+		for _, r := range rows {
+			cells = append(cells, []string{
+				fmt.Sprint(r.Dnum), fmt.Sprintf("%.1f", r.BConvPct), fmt.Sprintf("%.1f", r.NTTPct),
+				fmt.Sprintf("%.1f", r.INTTPct), fmt.Sprintf("%.1f", r.OthersPct),
+			})
+		}
+		fmt.Print(eval.FormatTable([]string{"dnum", "BConv %", "NTT %", "iNTT %", "others %"}, cells))
+	})
+}
+
+func BenchmarkTable3_AreaPower(b *testing.B) {
+	var comps []arch.Component
+	for i := 0; i < b.N; i++ {
+		comps = eval.Table3()
+	}
+	report(b, func() {
+		var cells [][]string
+		for _, c := range comps {
+			cells = append(cells, []string{c.Name, fmt.Sprintf("%.2f", c.AreaMM2), fmt.Sprintf("%.2f", c.PowerW)})
+		}
+		cells = append(cells, []string{"Total", fmt.Sprintf("%.1f", arch.TotalArea()), fmt.Sprintf("%.1f", arch.TotalPower())})
+		fmt.Print(eval.FormatTable([]string{"component", "area (mm²)", "power (W)"}, cells))
+	})
+}
+
+func BenchmarkTable4_Instances(b *testing.B) {
+	var rows []eval.Table4Row
+	for i := 0; i < b.N; i++ {
+		rows = eval.Table4()
+	}
+	report(b, func() {
+		var cells [][]string
+		for _, r := range rows {
+			cells = append(cells, []string{
+				r.Name, fmt.Sprint(r.L), fmt.Sprint(r.Dnum), fmt.Sprintf("%.0f", r.LogPQ),
+				fmt.Sprintf("%.1f", r.Lambda), fmt.Sprintf("%.0f", r.TempDataMB),
+				fmt.Sprintf("%.0f", r.EvkMB), fmt.Sprintf("%.0f", r.CtMB),
+			})
+		}
+		fmt.Print(eval.FormatTable(
+			[]string{"instance", "L", "dnum", "logPQ", "λ", "temp MB", "evk MB", "ct MB"}, cells))
+	})
+}
+
+func BenchmarkFig6_TmultComparison(b *testing.B) {
+	var rows []eval.Fig6Row
+	for i := 0; i < b.N; i++ {
+		rows = eval.Fig6()
+	}
+	report(b, func() {
+		var cells [][]string
+		for _, r := range rows {
+			cells = append(cells, []string{r.System, fmt.Sprintf("%.1f", r.TmultASlotNs), fmt.Sprintf("%.0fx", r.SpeedupVsCPU)})
+		}
+		fmt.Print(eval.FormatTable([]string{"system", "Tmult,a/slot (ns)", "speedup vs CPU"}, cells))
+	})
+}
+
+func BenchmarkFig7a_ScratchpadTmult(b *testing.B) {
+	var rows []eval.Fig7aRow
+	for i := 0; i < b.N; i++ {
+		rows = eval.Fig7a()
+	}
+	report(b, func() {
+		var cells [][]string
+		for _, r := range rows {
+			cells = append(cells, []string{
+				r.Instance, fmt.Sprintf("%.1f", r.MinBoundNs),
+				fmt.Sprintf("%.1f", r.With512MNs), fmt.Sprintf("%.1f", r.With2GNs),
+			})
+		}
+		fmt.Print(eval.FormatTable([]string{"instance", "min bound (ns)", "512MB (ns)", "2GB (ns)"}, cells))
+	})
+}
+
+func BenchmarkFig7b_BootstrapFraction(b *testing.B) {
+	var rows []eval.Fig7bRow
+	for i := 0; i < b.N; i++ {
+		rows = eval.Fig7b()
+	}
+	report(b, func() {
+		var cells [][]string
+		for _, r := range rows {
+			cells = append(cells, []string{r.App, fmt.Sprintf("%.1f%%", r.BootstrapPct)})
+		}
+		fmt.Print(eval.FormatTable([]string{"application", "bootstrapping share"}, cells))
+	})
+}
+
+func BenchmarkFig8_HMultTimeline(b *testing.B) {
+	var res eval.Fig8Result
+	for i := 0; i < b.N; i++ {
+		res = eval.Fig8()
+	}
+	report(b, func() {
+		fmt.Printf("HMult on INS-1: total %.1f µs; HBM %.0f%%, NTTU %.0f%%, BConvU %.0f%% busy\n",
+			res.TotalUs, res.HBMUtilPct, res.NTTUUtilPct, res.BConvUtilPct)
+		for _, ev := range res.Events {
+			fmt.Printf("  %-12s %8.1f .. %8.1f µs\n", ev.Phase, ev.Start*1e6, ev.End*1e6)
+		}
+	})
+}
+
+func BenchmarkFig9_Ablation(b *testing.B) {
+	var rows []eval.Fig9Row
+	for i := 0; i < b.N; i++ {
+		rows = eval.Fig9()
+	}
+	report(b, func() {
+		var cells [][]string
+		for _, r := range rows {
+			cells = append(cells, []string{r.Config, fmt.Sprintf("%.3f", r.TmultASlotUs), fmt.Sprintf("%.0fx", r.Speedup)})
+		}
+		fmt.Print(eval.FormatTable([]string{"configuration", "Tmult,a/slot (µs)", "speedup vs Lattigo"}, cells))
+	})
+}
+
+func BenchmarkFig10_ScratchpadEDAP(b *testing.B) {
+	var rows []eval.Fig10Row
+	for i := 0; i < b.N; i++ {
+		rows = eval.Fig10()
+	}
+	report(b, func() {
+		var cells [][]string
+		for _, r := range rows {
+			ks := r.PerKindMs[workload.HMult] + r.PerKindMs[workload.HRot]
+			cells = append(cells, []string{
+				fmt.Sprint(r.ScratchpadMB), fmt.Sprintf("%.1f", r.BootstrapMs),
+				fmt.Sprintf("%.1f", ks), fmt.Sprintf("%.1f", r.PerKindMs[workload.PMult]),
+				fmt.Sprintf("%.3g", r.EDAP),
+			})
+		}
+		fmt.Print(eval.FormatTable(
+			[]string{"scratchpad MB", "bootstrap ms", "HMult+HRot ms", "PMult ms", "EDAP (J·s·mm²)"}, cells))
+	})
+}
+
+func BenchmarkTable5_HELR(b *testing.B) {
+	var rows []eval.Table5Row
+	for i := 0; i < b.N; i++ {
+		rows = eval.Table5()
+	}
+	report(b, func() {
+		var cells [][]string
+		for _, r := range rows {
+			cells = append(cells, []string{r.System, fmt.Sprintf("%.1f", r.MsPerIter), fmt.Sprintf("%.0fx", r.Speedup)})
+		}
+		fmt.Print(eval.FormatTable([]string{"system", "HELR ms/iter", "speedup"}, cells))
+	})
+}
+
+func BenchmarkTable6_ResNetSorting(b *testing.B) {
+	var rows []eval.Table6Row
+	for i := 0; i < b.N; i++ {
+		rows = eval.Table6()
+	}
+	report(b, func() {
+		var cells [][]string
+		for _, r := range rows {
+			cells = append(cells, []string{
+				r.App, r.System, fmt.Sprintf("%.2f", r.Seconds),
+				fmt.Sprintf("%.0fx", r.Speedup), fmt.Sprint(r.Bootstraps),
+			})
+		}
+		fmt.Print(eval.FormatTable([]string{"application", "system", "time (s)", "speedup", "#bootstraps"}, cells))
+	})
+}
+
+func BenchmarkSlowdown_VsUnencrypted(b *testing.B) {
+	var rows []eval.SlowdownRow
+	for i := 0; i < b.N; i++ {
+		rows = eval.SlowdownVsPlain()
+	}
+	report(b, func() {
+		var cells [][]string
+		for _, r := range rows {
+			cells = append(cells, []string{
+				r.App, fmt.Sprintf("%.4f", r.FHESec), fmt.Sprintf("%.5f", r.PlainSec),
+				fmt.Sprintf("%.0fx", r.Slowdown),
+			})
+		}
+		fmt.Print(eval.FormatTable([]string{"application", "FHE on BTS (s)", "plain CPU (s)", "slowdown"}, cells))
+	})
+}

@@ -1,0 +1,77 @@
+// Package bts is a from-scratch Go reproduction of "BTS: An Accelerator for
+// Bootstrappable Fully Homomorphic Encryption" (Kim et al., ISCA 2022).
+//
+// The repository contains two complementary halves:
+//
+//   - A complete Full-RNS CKKS library (internal/ckks on top of internal/ring
+//     and internal/mod) implementing every primitive the paper accelerates —
+//     encoding, encryption, HAdd/HMult/HRot/HRescale, generalized dnum
+//     key-switching, homomorphic linear transforms, Chebyshev evaluation,
+//     and full bootstrapping — functionally verified at reduced ring degrees.
+//
+//   - A model of the BTS accelerator itself: the parameter analysis of
+//     Section 3 (internal/params), the hardware catalog of Section 5 and
+//     Table 3 (internal/arch), a cycle-level simulator following the
+//     Section 6.2 methodology (internal/sim), workload traces for the
+//     paper's applications (internal/workload), published baselines
+//     (internal/baseline), and the experiment harness regenerating every
+//     table and figure (internal/eval).
+//
+// This package re-exports the stable entry points used by the examples and
+// command-line tools; the root-level benchmarks (bench_test.go) regenerate
+// the paper's evaluation via the same functions.
+package bts
+
+import (
+	"bts/internal/arch"
+	"bts/internal/ckks"
+	"bts/internal/params"
+	"bts/internal/sim"
+	"bts/internal/workload"
+)
+
+// CKKS scheme construction (the workload the accelerator runs).
+type (
+	// SchemeParams selects a concrete CKKS instantiation by prime bit sizes.
+	SchemeParams = ckks.ParametersLiteral
+	// Context owns the rings and conversion tables of one instantiation.
+	Context = ckks.Context
+	// Ciphertext is a CKKS ciphertext (pair of RNS polynomials, NTT domain).
+	Ciphertext = ckks.Ciphertext
+)
+
+// NewScheme generates NTT-friendly primes for lit and opens a context.
+func NewScheme(lit SchemeParams) (*ckks.Context, error) {
+	p, err := ckks.NewParameters(lit)
+	if err != nil {
+		return nil, err
+	}
+	return ckks.NewContext(p)
+}
+
+// Accelerator modeling (the paper's contribution).
+type (
+	// HWConfig is a BTS hardware configuration (PE grid, HBM, scratchpad).
+	HWConfig = arch.Config
+	// Instance is a symbolic CKKS instance (N, L, dnum) for the simulator.
+	Instance = params.Instance
+	// Simulator executes HE-op traces on a hardware configuration.
+	Simulator = sim.Simulator
+	// Trace is a sequence of primitive HE ops.
+	Trace = workload.Trace
+)
+
+// DefaultHW returns the paper's BTS configuration (2,048 PEs, 1 TB/s HBM,
+// 512 MB scratchpad).
+func DefaultHW() HWConfig { return arch.Default() }
+
+// PaperInstances returns Table 4's INS-1/2/3.
+func PaperInstances() []Instance { return params.PaperInstances() }
+
+// NewSimulator builds a simulator for one hardware config and instance.
+func NewSimulator(hw HWConfig, inst Instance) *Simulator { return sim.New(hw, inst) }
+
+// BootstrapTrace builds the paper-scale bootstrapping op trace.
+func BootstrapTrace(inst Instance) Trace {
+	return workload.BootstrapTrace(inst, workload.PaperBootstrapShape())
+}

@@ -1,0 +1,190 @@
+// Command btsbench regenerates every table and figure of the BTS paper's
+// evaluation section and prints them as text tables (the same rows the root
+// benchmark harness reports). Usage:
+//
+//	btsbench [-experiment all|table1|fig1|fig2|fig3b|table3|table4|fig6|fig7|fig8|fig9|fig10|table5|table6|slowdown]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"bts/internal/arch"
+	"bts/internal/eval"
+	"bts/internal/workload"
+)
+
+func main() {
+	which := flag.String("experiment", "all", "experiment to run (all, table1, fig1, ... slowdown)")
+	flag.Parse()
+
+	experiments := []struct {
+		name string
+		run  func()
+	}{
+		{"table1", table1}, {"fig1", fig1}, {"fig2", fig2}, {"fig3b", fig3b},
+		{"table3", table3}, {"table4", table4}, {"fig6", fig6}, {"fig7", fig7},
+		{"fig8", fig8}, {"fig9", fig9}, {"fig10", fig10}, {"table5", table5},
+		{"table6", table6}, {"slowdown", slowdown},
+	}
+	ran := false
+	for _, e := range experiments {
+		if *which == "all" || *which == e.name {
+			fmt.Printf("\n===== %s =====\n", e.name)
+			e.run()
+			ran = true
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *which)
+		os.Exit(2)
+	}
+}
+
+func table1() {
+	var cells [][]string
+	for _, r := range eval.Table1() {
+		cells = append(cells, []string{r.Platform, fmt.Sprint(r.LogN), fmt.Sprint(r.Slots),
+			fmt.Sprint(r.Bootstrap), r.Parallelism, fmt.Sprintf("%.3g", r.MultPerSec)})
+	}
+	fmt.Print(eval.FormatTable([]string{"platform", "logN", "slots", "boot", "parallelism", "FHE mult/s"}, cells))
+}
+
+func fig1() {
+	res := eval.Fig1()
+	for _, logN := range []int{15, 16, 17, 18} {
+		rows := res[logN]
+		fmt.Printf("N=2^%d (max dnum %d):\n", logN, rows[len(rows)-1].Dnum)
+		var cells [][]string
+		for _, r := range rows {
+			if r.Dnum > 8 && r.Dnum%8 != 0 && r.Dnum != rows[len(rows)-1].Dnum {
+				continue // thin out the print; the data is dense
+			}
+			cells = append(cells, []string{fmt.Sprint(r.Dnum), fmt.Sprint(r.MaxLevel),
+				fmt.Sprintf("%.0f", float64(r.EvkSingleBytes)/(1<<20)),
+				fmt.Sprintf("%.2f", float64(r.EvkAggBytes)/(1<<30))})
+		}
+		fmt.Print(eval.FormatTable([]string{"dnum", "max L", "evk (MiB)", "aggregate evks (GiB)"}, cells))
+	}
+}
+
+func fig2() {
+	rows := eval.Fig2()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Lambda < rows[j].Lambda })
+	var cells [][]string
+	for _, r := range rows {
+		if !r.Feasible || r.Lambda > 250 || r.Lambda < 70 {
+			continue
+		}
+		cells = append(cells, []string{fmt.Sprintf("2^%d", r.LogN), fmt.Sprint(r.L),
+			fmt.Sprint(r.Dnum), fmt.Sprintf("%.1f", r.Lambda), fmt.Sprintf("%.1f", r.TmultASlotNs)})
+	}
+	fmt.Print(eval.FormatTable([]string{"N", "L", "dnum", "λ", "min-bound Tmult,a/slot (ns)"}, cells))
+}
+
+func fig3b() {
+	var cells [][]string
+	for _, r := range eval.Fig3b() {
+		cells = append(cells, []string{fmt.Sprint(r.Dnum), fmt.Sprintf("%.1f", r.BConvPct),
+			fmt.Sprintf("%.1f", r.NTTPct), fmt.Sprintf("%.1f", r.INTTPct), fmt.Sprintf("%.1f", r.OthersPct)})
+	}
+	fmt.Print(eval.FormatTable([]string{"dnum", "BConv %", "NTT %", "iNTT %", "others %"}, cells))
+}
+
+func table3() {
+	var cells [][]string
+	for _, c := range eval.Table3() {
+		cells = append(cells, []string{c.Name, fmt.Sprintf("%.2f", c.AreaMM2), fmt.Sprintf("%.2f", c.PowerW)})
+	}
+	cells = append(cells, []string{"Total", fmt.Sprintf("%.1f", arch.TotalArea()), fmt.Sprintf("%.1f", arch.TotalPower())})
+	fmt.Print(eval.FormatTable([]string{"component", "area mm²", "power W"}, cells))
+	fmt.Printf("minNTTU (Eq.10, N=2^17, dnum=1) = %.0f → BTS provisions 2048\n",
+		arch.MinNTTU(1<<17, 1, 1.2e9, 1e12))
+}
+
+func table4() {
+	var cells [][]string
+	for _, r := range eval.Table4() {
+		cells = append(cells, []string{r.Name, fmt.Sprint(r.L), fmt.Sprint(r.Dnum),
+			fmt.Sprintf("%.0f", r.LogPQ), fmt.Sprintf("%.1f", r.Lambda),
+			fmt.Sprintf("%.0f", r.TempDataMB), fmt.Sprintf("%.0f", r.EvkMB), fmt.Sprintf("%.0f", r.CtMB)})
+	}
+	fmt.Print(eval.FormatTable([]string{"instance", "L", "dnum", "logPQ", "λ", "temp MB", "evk MB", "ct MB"}, cells))
+}
+
+func fig6() {
+	var cells [][]string
+	for _, r := range eval.Fig6() {
+		cells = append(cells, []string{r.System, fmt.Sprintf("%.1f", r.TmultASlotNs), fmt.Sprintf("%.0fx", r.SpeedupVsCPU)})
+	}
+	fmt.Print(eval.FormatTable([]string{"system", "Tmult,a/slot (ns)", "speedup vs CPU"}, cells))
+}
+
+func fig7() {
+	var cells [][]string
+	for _, r := range eval.Fig7a() {
+		cells = append(cells, []string{r.Instance, fmt.Sprintf("%.1f", r.MinBoundNs),
+			fmt.Sprintf("%.1f", r.With512MNs), fmt.Sprintf("%.1f", r.With2GNs)})
+	}
+	fmt.Print(eval.FormatTable([]string{"instance", "min bound ns", "512MB ns", "2GB ns"}, cells))
+	cells = nil
+	for _, r := range eval.Fig7b() {
+		cells = append(cells, []string{r.App, fmt.Sprintf("%.1f%%", r.BootstrapPct)})
+	}
+	fmt.Print(eval.FormatTable([]string{"application", "bootstrapping share"}, cells))
+}
+
+func fig8() {
+	res := eval.Fig8()
+	fmt.Printf("HMult on INS-1: total %.1f µs; HBM %.0f%% / NTTU %.0f%% / BConvU %.0f%% busy\n",
+		res.TotalUs, res.HBMUtilPct, res.NTTUUtilPct, res.BConvUtilPct)
+	for _, ev := range res.Events {
+		fmt.Printf("  %-12s %8.1f .. %8.1f µs\n", ev.Phase, ev.Start*1e6, ev.End*1e6)
+	}
+}
+
+func fig9() {
+	var cells [][]string
+	for _, r := range eval.Fig9() {
+		cells = append(cells, []string{r.Config, fmt.Sprintf("%.3f", r.TmultASlotUs), fmt.Sprintf("%.0fx", r.Speedup)})
+	}
+	fmt.Print(eval.FormatTable([]string{"configuration", "Tmult,a/slot µs", "speedup vs Lattigo"}, cells))
+}
+
+func fig10() {
+	var cells [][]string
+	for _, r := range eval.Fig10() {
+		ks := r.PerKindMs[workload.HMult] + r.PerKindMs[workload.HRot]
+		cells = append(cells, []string{fmt.Sprint(r.ScratchpadMB), fmt.Sprintf("%.1f", r.BootstrapMs),
+			fmt.Sprintf("%.1f", ks), fmt.Sprintf("%.1f", r.PerKindMs[workload.PMult]), fmt.Sprintf("%.3g", r.EDAP)})
+	}
+	fmt.Print(eval.FormatTable([]string{"scratchpad MB", "bootstrap ms", "HMult+HRot ms", "PMult ms", "EDAP"}, cells))
+}
+
+func table5() {
+	var cells [][]string
+	for _, r := range eval.Table5() {
+		cells = append(cells, []string{r.System, fmt.Sprintf("%.1f", r.MsPerIter), fmt.Sprintf("%.0fx", r.Speedup)})
+	}
+	fmt.Print(eval.FormatTable([]string{"system", "HELR ms/iter", "speedup"}, cells))
+}
+
+func table6() {
+	var cells [][]string
+	for _, r := range eval.Table6() {
+		cells = append(cells, []string{r.App, r.System, fmt.Sprintf("%.2f", r.Seconds),
+			fmt.Sprintf("%.0fx", r.Speedup), fmt.Sprint(r.Bootstraps)})
+	}
+	fmt.Print(eval.FormatTable([]string{"application", "system", "time s", "speedup", "#boots"}, cells))
+}
+
+func slowdown() {
+	var cells [][]string
+	for _, r := range eval.SlowdownVsPlain() {
+		cells = append(cells, []string{r.App, fmt.Sprintf("%.4f", r.FHESec),
+			fmt.Sprintf("%.5f", r.PlainSec), fmt.Sprintf("%.0fx", r.Slowdown)})
+	}
+	fmt.Print(eval.FormatTable([]string{"application", "FHE on BTS s", "plain CPU s", "slowdown"}, cells))
+}

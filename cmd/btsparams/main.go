@@ -1,0 +1,45 @@
+// Command btsparams explores the CKKS parameter space of Section 3: the
+// L/dnum/evk-size interplay at fixed security (Fig. 1) and the security of
+// arbitrary (N, L, dnum) instances. Usage:
+//
+//	btsparams -logn 17            # Fig. 1 sweep at N=2^17
+//	btsparams -logn 17 -l 27 -dnum 1   # inspect one instance
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"bts/internal/params"
+)
+
+func main() {
+	logN := flag.Int("logn", 17, "log2 of the ring degree")
+	l := flag.Int("l", 0, "maximum level L (0 = sweep dnum instead)")
+	dnum := flag.Int("dnum", 1, "decomposition number")
+	flag.Parse()
+
+	if *l > 0 {
+		inst := params.Instance{
+			Name: "custom", LogN: *logN, L: *l, Dnum: *dnum,
+			LogQ0: 60, LogQi: 50, LogP: 60,
+		}
+		if err := inst.Validate(); err != nil {
+			fmt.Println("invalid instance:", err)
+			return
+		}
+		fmt.Printf("N=2^%d L=%d dnum=%d: k=%d, logPQ=%.0f, λ≈%.1f\n",
+			inst.LogN, inst.L, inst.Dnum, inst.K(), inst.LogPQ(), inst.Lambda())
+		fmt.Printf("  ct@L    %6.1f MiB\n", float64(inst.CtBytes(inst.L))/(1<<20))
+		fmt.Printf("  evk     %6.1f MiB\n", float64(inst.EvkBytesMax())/(1<<20))
+		fmt.Printf("  temp    %6.1f MiB\n", float64(inst.TempDataBytes())/(1<<20))
+		return
+	}
+
+	fmt.Printf("Fig. 1 sweep at N=2^%d, 128-bit security (max dnum = %d):\n", *logN, params.MaxDnum(*logN))
+	fmt.Printf("%6s %6s %12s %16s\n", "dnum", "max L", "evk (MiB)", "agg evks (GiB)")
+	for _, r := range params.LevelsAndEvkVsDnum(*logN) {
+		fmt.Printf("%6d %6d %12.0f %16.2f\n",
+			r.Dnum, r.MaxLevel, float64(r.EvkSingleBytes)/(1<<20), float64(r.EvkAggBytes)/(1<<30))
+	}
+}

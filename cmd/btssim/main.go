@@ -1,0 +1,94 @@
+// Command btssim runs the BTS cycle-level simulator on one workload trace
+// and prints timing, traffic, utilization and energy statistics. Usage:
+//
+//	btssim -instance INS-2 -workload resnet -scratchpad 512 -hbm 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"bts/internal/arch"
+	"bts/internal/params"
+	"bts/internal/sim"
+	"bts/internal/workload"
+)
+
+func main() {
+	instName := flag.String("instance", "INS-1", "CKKS instance: INS-1, INS-2, INS-3, INS-Lattigo")
+	wl := flag.String("workload", "bootstrap", "workload: bootstrap, amortized, helr, resnet, sorting")
+	scratchMB := flag.Int64("scratchpad", 512, "scratchpad capacity in MB")
+	hbmGBs := flag.Float64("hbm", 1000, "HBM bandwidth in GB/s")
+	overlap := flag.Bool("overlap", true, "overlap BConv with iNTT (Eq. 11)")
+	flag.Parse()
+
+	var inst params.Instance
+	switch *instName {
+	case "INS-1":
+		inst = params.INS1
+	case "INS-2":
+		inst = params.INS2
+	case "INS-3":
+		inst = params.INS3
+	case "INS-Lattigo":
+		inst = params.INSLattigo
+	default:
+		fmt.Fprintf(os.Stderr, "unknown instance %q\n", *instName)
+		os.Exit(2)
+	}
+
+	shape, ok := workload.ShapeForInstance(inst)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "instance %s cannot bootstrap\n", inst.Name)
+		os.Exit(2)
+	}
+	var tr workload.Trace
+	switch *wl {
+	case "bootstrap":
+		tr = workload.BootstrapTrace(inst, shape)
+	case "amortized":
+		tr = workload.AmortizedMultTrace(inst, shape)
+	case "helr":
+		tr = workload.HELRTrace(inst, shape, workload.DefaultHELR())
+	case "resnet":
+		tr = workload.ResNet20Trace(inst, shape, workload.DefaultResNet())
+	case "sorting":
+		tr = workload.SortingTrace(inst, shape, workload.DefaultSorting())
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
+		os.Exit(2)
+	}
+
+	hw := arch.Default()
+	hw.ScratchpadBytes = *scratchMB << 20
+	hw.HBMBytesPerSec = *hbmGBs * 1e9
+	hw.BConvOverlap = *overlap
+
+	s := sim.New(hw, inst)
+	st := s.RunTrace(tr)
+
+	fmt.Printf("workload %s on %s (%d ops, %d bootstraps)\n", tr.Name, inst.Name, len(tr.Ops), tr.Bootstraps)
+	fmt.Printf("  time            %.3f ms (bootstrapping %.1f%%)\n", st.Time*1e3, 100*st.BootTime/st.Time)
+	fmt.Printf("  HBM traffic     %.2f GB  (cache hits %d / misses %d)\n",
+		float64(st.HBMBytes)/1e9, st.CacheHits, st.CacheMiss)
+	fmt.Printf("  energy          %.2f J (avg %.1f W), EDAP %.3g J·s·mm²\n",
+		st.EnergyJ, st.EnergyJ/st.Time, st.EDAP())
+	for _, r := range []string{"HBM", "NTTU", "BConvU", "NoC", "Scratchpad"} {
+		fmt.Printf("  %-11s busy %5.1f%%\n", r, 100*st.Utilization(r))
+	}
+	fmt.Println("  per-op-kind time:")
+	type kv struct {
+		k workload.OpKind
+		v float64
+	}
+	var kinds []kv
+	for k, v := range st.PerKind {
+		kinds = append(kinds, kv{k, v})
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i].v > kinds[j].v })
+	for _, e := range kinds {
+		fmt.Printf("    %-9s %9.3f ms (%5.1f%%)\n", e.k, e.v*1e3, 100*e.v/st.Time)
+	}
+}

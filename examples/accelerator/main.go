@@ -1,0 +1,61 @@
+// Accelerator anatomy: the design math of Sections 3-5 — minNTTU (Eq. 10),
+// the Table 3 floorplan, the Fig. 8 HMult timeline, and how a bootstrapping
+// maps onto the PE grid's resources.
+package main
+
+import (
+	"fmt"
+
+	"bts/internal/arch"
+	"bts/internal/eval"
+	"bts/internal/params"
+	"bts/internal/sim"
+	"bts/internal/workload"
+)
+
+func main() {
+	hw := arch.Default()
+	fmt.Printf("BTS: %d PEs (%dx%d grid) @ %.1f GHz, %d MB scratchpad, %.0f GB/s HBM\n",
+		hw.PEs(), hw.PEVer, hw.PEHor, hw.FreqHz/1e9, hw.ScratchpadBytes>>20, hw.HBMBytesPerSec/1e9)
+
+	// Eq. 10: why 2,048 NTTUs.
+	fmt.Println("\nminNTTU (Eq. 10) — NTTUs needed to hide compute under the evk stream:")
+	for _, dnum := range []int{1, 2, 3, 6, 14} {
+		fmt.Printf("  dnum=%-3d minNTTU=%6.0f\n", dnum, arch.MinNTTU(1<<17, dnum, hw.FreqHz, hw.HBMBytesPerSec))
+	}
+	fmt.Println("  → maximized at dnum=1 (1,328); BTS provisions 2,048 with margin")
+
+	// Table 3 floorplan.
+	fmt.Println("\nTable 3 floorplan:")
+	for _, c := range arch.Table3() {
+		fmt.Printf("  %-22s %7.2f mm²  %6.2f W\n", c.Name, c.AreaMM2, c.PowerW)
+	}
+	fmt.Printf("  %-22s %7.1f mm²  %6.1f W\n", "total", arch.TotalArea(), arch.TotalPower())
+
+	// Fig. 8: the HMult pipeline.
+	res := eval.Fig8()
+	fmt.Printf("\nHMult on INS-1 (Fig. 8): %.1f µs total — memory-bound on the evk stream\n", res.TotalUs)
+	for _, ev := range res.Events {
+		bar := int((ev.End - ev.Start) * 1e6 / res.TotalUs * 40)
+		fmt.Printf("  %-12s %6.1f µs  %s\n", ev.Phase, (ev.End-ev.Start)*1e6, bars(bar))
+	}
+
+	// A full bootstrapping on the machine.
+	inst := params.INS1
+	tr := workload.BootstrapTrace(inst, workload.PaperBootstrapShape())
+	s := sim.New(hw, inst)
+	st := s.RunTrace(tr)
+	fmt.Printf("\none bootstrapping on %s: %.2f ms, %.1f GB HBM traffic, %.2f J\n",
+		inst.Name, st.Time*1e3, float64(st.HBMBytes)/1e9, st.EnergyJ)
+	fmt.Printf("  utilization: HBM %.0f%%, NTTU %.0f%%, BConvU %.0f%%, NoC %.0f%%\n",
+		100*st.Utilization("HBM"), 100*st.Utilization("NTTU"),
+		100*st.Utilization("BConvU"), 100*st.Utilization("NoC"))
+}
+
+func bars(n int) string {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

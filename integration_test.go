@@ -1,0 +1,70 @@
+package bts
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"bts/internal/ckks"
+	"bts/internal/workload"
+)
+
+// TestFacadeEndToEnd exercises the public façade: build a scheme, do real
+// homomorphic arithmetic, then simulate the same op class on the paper's
+// hardware — the two halves of the reproduction working together.
+func TestFacadeEndToEnd(t *testing.T) {
+	ctx, err := NewScheme(SchemeParams{
+		LogN: 10, LogQ: []int{50, 40, 40}, LogP: 51, Dnum: 1, LogScale: 40, H: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg := ckks.NewKeyGenerator(ctx, 9)
+	sk := kg.GenSecretKey()
+	rlk := kg.GenRelinearizationKey(sk)
+	encoder := ckks.NewEncoder(ctx)
+	enc := ckks.NewEncryptorSK(ctx, sk, 10)
+	dec := ckks.NewDecryptor(ctx, sk)
+	eval := ckks.NewEvaluator(ctx, encoder, rlk, nil)
+
+	msg := []complex128{0.5 + 0.25i, -0.75}
+	pt, _ := encoder.Encode(msg, ctx.Params.MaxLevel(), ctx.Params.Scale)
+	ct, _ := enc.EncryptNew(pt)
+	sq := eval.Rescale(eval.Square(ct))
+	got := encoder.Decode(dec.DecryptNew(sq))
+	for i, want := range []complex128{msg[0] * msg[0], msg[1] * msg[1]} {
+		if cmplx.Abs(got[i]-want) > 1e-4 {
+			t.Fatalf("slot %d: got %v want %v", i, got[i], want)
+		}
+	}
+
+	// Accelerator side: the same HMult class at paper scale.
+	for _, inst := range PaperInstances() {
+		s := NewSimulator(DefaultHW(), inst)
+		st := s.RunTrace(BootstrapTrace(inst))
+		if st.Time <= 0 {
+			t.Fatalf("%s: non-positive simulated time", inst.Name)
+		}
+		// Bootstrapping at 1 TB/s must land in the tens-of-ms regime
+		// (Section 3.4 estimates ~14 ms of evk traffic alone for INS-1).
+		if st.Time < 5e-3 || st.Time > 200e-3 {
+			t.Fatalf("%s: bootstrap %.3f ms outside [5,200] ms", inst.Name, st.Time*1e3)
+		}
+	}
+}
+
+// TestSimulatorTracksLibraryOpMix checks cross-module consistency: the op
+// kinds emitted by the trace generator are exactly the primitive ops the
+// real library implements (no phantom operations in the model).
+func TestSimulatorTracksLibraryOpMix(t *testing.T) {
+	tr := BootstrapTrace(PaperInstances()[0])
+	implemented := map[workload.OpKind]bool{
+		workload.HAdd: true, workload.HMult: true, workload.HRot: true,
+		workload.HRescale: true, workload.PMult: true, workload.PAdd: true,
+		workload.CMult: true, workload.CAdd: true, workload.ModRaise: true,
+	}
+	for _, op := range tr.Ops {
+		if !implemented[op.Kind] {
+			t.Fatalf("trace contains unimplemented op kind %v", op.Kind)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Package arch models the BTS hardware: the 32×64 PE grid, functional-unit
+// catalog, NoCs, scratchpad and HBM of Section 5, with the area/power
+// numbers of Table 3. It provides the derived quantities the paper's design
+// methodology rests on, most importantly minNTTU (Eq. 10).
+package arch
+
+import "fmt"
+
+// Config describes one BTS-like accelerator configuration. The zero value is
+// not valid; use Default() (the paper's BTS) and mutate for ablations.
+type Config struct {
+	Name string
+
+	// PE grid (Section 4.3): 2,048 PEs as 32 rows × 64 columns.
+	PEVer, PEHor int
+
+	// Operating frequency of NTTUs/MMAUs and the NoC (7nm nominal).
+	FreqHz float64
+
+	// Off-chip: two HBM2e stacks, 1 TB/s aggregate (Section 3.4).
+	HBMBytesPerSec float64
+
+	// On-chip scratchpad: 512 MB, 38.4 TB/s chip-wide (Section 6.1).
+	ScratchpadBytes       int64
+	ScratchpadBytesPerSec float64
+
+	// PE-PE NoC bisection bandwidth (12-bit ports at 1.2 GHz → 3.6 TB/s).
+	NoCBisectionBytesPerSec float64
+
+	// LSub is the iNTT/BConv overlap batch (Eq. 11; 4 in BTS).
+	LSub int
+	// BConvOverlap enables the partial iNTT/BConv pipeline (Fig. 9 ablation).
+	BConvOverlap bool
+
+	// RPLP switches the data-parallelism strategy from BTS's
+	// coefficient-level parallelism (CLP) to the residue-polynomial-level
+	// parallelism (rPLP) of prior accelerators (Section 4.3): PEs are
+	// grouped into RPLPClusters vector clusters, each processing whole
+	// residue polynomials. rPLP suffers load imbalance when the number of
+	// live residue polynomials is not a multiple of the cluster count
+	// (the fluctuating-ℓ problem), and base conversion incurs extra
+	// inter-PE exchanges.
+	RPLP         bool
+	RPLPClusters int
+}
+
+// Default returns the paper's BTS configuration.
+func Default() Config {
+	return Config{
+		Name:                    "BTS",
+		PEVer:                   32,
+		PEHor:                   64,
+		FreqHz:                  1.2e9,
+		HBMBytesPerSec:          1e12,
+		ScratchpadBytes:         512 << 20,
+		ScratchpadBytesPerSec:   38.4e12,
+		NoCBisectionBytesPerSec: 3.6e12,
+		LSub:                    4,
+		BConvOverlap:            true,
+	}
+}
+
+// PEs returns the total processing-element count (one NTTU + BConvU each).
+func (c Config) PEs() int { return c.PEVer * c.PEHor }
+
+// Validate sanity-checks the configuration.
+func (c Config) Validate() error {
+	if c.PEVer <= 0 || c.PEHor <= 0 {
+		return fmt.Errorf("arch: non-positive PE grid %dx%d", c.PEVer, c.PEHor)
+	}
+	if c.FreqHz <= 0 || c.HBMBytesPerSec <= 0 || c.ScratchpadBytes <= 0 {
+		return fmt.Errorf("arch: non-positive rate/capacity in %q", c.Name)
+	}
+	if c.LSub < 1 {
+		return fmt.Errorf("arch: LSub must be ≥ 1")
+	}
+	return nil
+}
+
+// MinNTTU evaluates Eq. 10: the number of fully-pipelined butterfly units
+// needed to finish the (dnum+2)·(k+ℓ+1) residue-polynomial (i)NTTs of one
+// HMult within the evk streaming time 2·dnum·(k+ℓ+1)·N·8B / BW. The value
+// is maximized at dnum = 1 (1,328 for N = 2^17 at 1.2 GHz and 1 TB/s),
+// which is why BTS provisions 2,048 NTTUs.
+func MinNTTU(n int, dnum int, freqHz, hbmBytesPerSec float64) float64 {
+	nf := float64(n)
+	butterflies := float64(dnum+2) * nf * log2f(nf) / 2
+	computeTime := butterflies / freqHz
+	evkBytes := 2 * float64(dnum) * nf * 8
+	loadTime := evkBytes / hbmBytesPerSec
+	return computeTime / loadTime
+}
+
+func log2f(x float64) float64 {
+	l := 0.0
+	for x > 1 {
+		x /= 2
+		l++
+	}
+	return l
+}
+
+// --- Table 3: area and power -------------------------------------------------
+
+// Component is one row of Table 3.
+type Component struct {
+	Name    string
+	AreaMM2 float64 // total chip area of all instances
+	PowerW  float64 // peak power of all instances
+}
+
+// Table3 returns the paper's component-level area/power breakdown (already
+// aggregated chip-wide, bottom half of Table 3).
+func Table3() []Component {
+	return []Component{
+		{"2048 PEs", 317.2, 73.21},
+		{"Inter-PE NoC", 3.06, 45.93},
+		{"Global BrU + NoC", 0.42, 0.10},
+		{"128 local BrUs", 3.69, 0.04},
+		{"HBM2e NoC", 0.10, 6.81},
+		{"2 HBM2e stacks", 29.6, 31.76},
+		{"PCIe5x16 interface", 19.6, 5.37},
+	}
+}
+
+// TotalArea returns the paper's 373.6 mm².
+func TotalArea() float64 {
+	s := 0.0
+	for _, c := range Table3() {
+		s += c.AreaMM2
+	}
+	return s
+}
+
+// TotalPower returns the paper's 163.2 W peak.
+func TotalPower() float64 {
+	s := 0.0
+	for _, c := range Table3() {
+		s += c.PowerW
+	}
+	return s
+}
+
+// PowerModel exposes the component powers the simulator charges while a
+// resource is busy (W), plus the static floor.
+type PowerModel struct {
+	NTTUW        float64 // all NTTUs busy (part of PE power)
+	BConvW       float64 // all BConvUs busy
+	EltW         float64 // element-wise ModMult/ModAdd
+	ScratchW     float64 // scratchpad SRAM
+	NoCW         float64 // inter-PE NoC
+	HBMW         float64 // HBM stacks + PHY
+	StaticW      float64 // always-on fraction (BrUs, PCIe, leakage)
+	HBMPJPerByte float64
+}
+
+// DefaultPower derives the simulator's power model from Table 3's per-PE
+// breakdown (top half: NTTU 12.17 mW, BConvU 8.98 mW, element-wise 1.43 mW,
+// scratchpad 9.86 mW per PE at peak).
+func DefaultPower() PowerModel {
+	pes := 2048.0
+	return PowerModel{
+		NTTUW:        12.17e-3 * pes,
+		BConvW:       (8.42 + 0.56) * 1e-3 * pes,
+		EltW:         (1.35 + 0.08) * 1e-3 * pes,
+		ScratchW:     9.86e-3 * pes,
+		NoCW:         45.93,
+		HBMW:         31.76 + 6.81,
+		StaticW:      0.1 * 163.2,
+		HBMPJPerByte: (31.76 + 6.81) / 1e12 * 1e12, // ≈ 38.6 pJ/B at 1 TB/s
+	}
+}

@@ -1,0 +1,101 @@
+package arch
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultConfig(t *testing.T) {
+	c := Default()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.PEs() != 2048 {
+		t.Fatalf("PEs=%d want 2048", c.PEs())
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	c := Default()
+	c.PEVer = 0
+	if err := c.Validate(); err == nil {
+		t.Fatal("zero grid must fail")
+	}
+	c = Default()
+	c.LSub = 0
+	if err := c.Validate(); err == nil {
+		t.Fatal("LSub=0 must fail")
+	}
+	c = Default()
+	c.HBMBytesPerSec = 0
+	if err := c.Validate(); err == nil {
+		t.Fatal("zero HBM bandwidth must fail")
+	}
+}
+
+func TestMinNTTUMatchesEq10(t *testing.T) {
+	// Eq. 10 at N=2^17, dnum=1, 1.2 GHz, 1 TB/s gives 1,328 NTTUs.
+	got := MinNTTU(1<<17, 1, 1.2e9, 1e12)
+	if math.Abs(got-1328) > 1 {
+		t.Fatalf("MinNTTU=%f want 1328±1", got)
+	}
+	// BTS provisions 2,048 — comfortably above the requirement.
+	if got > 2048 {
+		t.Fatal("minNTTU exceeds the provisioned 2048")
+	}
+}
+
+func TestMinNTTUMaximizedAtDnum1(t *testing.T) {
+	prev := math.Inf(1)
+	for _, dnum := range []int{1, 2, 3, 6, 14, 28} {
+		v := MinNTTU(1<<17, dnum, 1.2e9, 1e12)
+		if v > prev {
+			t.Fatalf("minNTTU not decreasing in dnum at %d", dnum)
+		}
+		prev = v
+	}
+}
+
+func TestTable3Totals(t *testing.T) {
+	if a := TotalArea(); math.Abs(a-373.6) > 0.2 {
+		t.Fatalf("total area %.2f mm², paper says 373.6", a)
+	}
+	if p := TotalPower(); math.Abs(p-163.2) > 0.2 {
+		t.Fatalf("total power %.2f W, paper says 163.2", p)
+	}
+}
+
+func TestPowerModelPlausible(t *testing.T) {
+	pm := DefaultPower()
+	sum := pm.NTTUW + pm.BConvW + pm.EltW + pm.ScratchW + pm.NoCW + pm.HBMW + pm.StaticW
+	if sum > TotalPower()*1.1 {
+		t.Fatalf("power model sums to %.1f W, exceeds chip peak %.1f W", sum, TotalPower())
+	}
+	if pm.HBMPJPerByte < 10 || pm.HBMPJPerByte > 100 {
+		t.Fatalf("HBM energy %.1f pJ/B implausible", pm.HBMPJPerByte)
+	}
+}
+
+func TestAutomorphismPEPermutation(t *testing.T) {
+	// Section 5.5: under the BTS coefficient-to-PE mapping, every Galois
+	// automorphism moves all residues of one PE to a single destination PE,
+	// and the induced PE-level map is a permutation — the property that
+	// makes HRot a contention-free NoC permutation.
+	c := Default()
+	n := 1 << 17
+	g := uint64(1)
+	for r := 0; r < 40; r++ {
+		g = g * 5 % uint64(2*n)
+		if !c.AutomorphismIsPermutation(g%uint64(n), n) {
+			t.Fatalf("σ with g=%d is not a PE permutation", g)
+		}
+	}
+	// Conjugation (2N-1 ≡ N-1 mod N at index level) as well.
+	if !c.AutomorphismIsPermutation(uint64(2*n-1)%uint64(n), n) {
+		t.Fatal("conjugation is not a PE permutation")
+	}
+	// Even multipliers are not valid Galois elements.
+	if c.AutomorphismIsPermutation(2, n) {
+		t.Fatal("even multiplier must be rejected")
+	}
+}

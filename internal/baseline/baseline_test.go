@@ -1,0 +1,46 @@
+package baseline
+
+import "testing"
+
+func TestProvenanceRatios(t *testing.T) {
+	// Lattigo's Tmult is defined via the paper's 2,237× claim over 45.5 ns.
+	if got := Lattigo.TmultASlot; got < 100e-6 || got > 104e-6 {
+		t.Fatalf("Lattigo Tmult %.3g s outside the published-derived band", got)
+	}
+	// F1 is 2.5× slower than Lattigo (single-slot bootstrapping).
+	if r := F1.TmultASlot / Lattigo.TmultASlot; r < 2.4 || r > 2.6 {
+		t.Fatalf("F1/Lattigo ratio %.2f, paper says 2.5", r)
+	}
+	// F1+ is 824× slower than BTS INS-2's 45.5 ns.
+	if r := F1Plus.TmultASlot / 45.5e-9; r < 820 || r > 828 {
+		t.Fatalf("F1+ ratio %.0f, paper says 824", r)
+	}
+}
+
+func TestAllOrdering(t *testing.T) {
+	ps := All()
+	if len(ps) != 5 || ps[0].Name != Lattigo.Name {
+		t.Fatalf("All() broken: %v", ps)
+	}
+}
+
+func TestPaperNumbers(t *testing.T) {
+	p := Paper()
+	if p.MinBoundNs != [3]float64{27.7, 19.9, 22.1} {
+		t.Fatalf("min-bound constants drifted: %v", p.MinBoundNs)
+	}
+	if p.ResNetBoots != [3]int{53, 22, 19} || p.SortingBoots != [3]int{521, 306, 229} {
+		t.Fatal("Table 6 bootstrap constants drifted")
+	}
+}
+
+func TestUnencryptedDerivation(t *testing.T) {
+	u := Unencrypted()
+	if u.HELRMsPerIter <= 0 || u.ResNetSec <= 0 {
+		t.Fatal("implied plain runtimes must be positive")
+	}
+	// HELR plain ≈ 28.4/141 ≈ 0.20 ms.
+	if u.HELRMsPerIter < 0.1 || u.HELRMsPerIter > 0.4 {
+		t.Fatalf("HELR plain %.3f ms implausible", u.HELRMsPerIter)
+	}
+}

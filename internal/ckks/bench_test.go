@@ -1,0 +1,107 @@
+package ckks
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Benchmarks of the primitive HE ops the accelerator targets, measured on
+// the real library at a reduced degree (N=2^12). These are the operations
+// whose N=2^17 hardware costs internal/sim models.
+
+func benchSetup(b *testing.B) (*testSetup, *Ciphertext, *Ciphertext) {
+	b.Helper()
+	params, err := NewParameters(ParametersLiteral{
+		LogN:     12,
+		LogQ:     []int{50, 40, 40, 40, 40, 40, 40, 40},
+		LogP:     51,
+		Dnum:     3,
+		LogScale: 40,
+		H:        64,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, err := NewContext(params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	kg := NewKeyGenerator(ctx, 1)
+	sk := kg.GenSecretKey()
+	rlk := kg.GenRelinearizationKey(sk)
+	rtks := kg.GenRotationKeys(sk, []int{1}, true)
+	encoder := NewEncoder(ctx)
+	s := &testSetup{
+		params: params, ctx: ctx, encoder: encoder, kg: kg, sk: sk, rlk: rlk,
+		enc: NewEncryptorSK(ctx, sk, 2), dec: NewDecryptor(ctx, sk),
+		eval: NewEvaluator(ctx, encoder, rlk, rtks),
+	}
+	rng := rand.New(rand.NewSource(3))
+	v0 := randomComplex(rng, params.Slots(), 1)
+	v1 := randomComplex(rng, params.Slots(), 1)
+	pt0, _ := encoder.Encode(v0, params.MaxLevel(), params.Scale)
+	pt1, _ := encoder.Encode(v1, params.MaxLevel(), params.Scale)
+	ct0, _ := s.enc.EncryptNew(pt0)
+	ct1, _ := s.enc.EncryptNew(pt1)
+	return s, ct0, ct1
+}
+
+func BenchmarkEncode(b *testing.B) {
+	s, _, _ := benchSetup(b)
+	rng := rand.New(rand.NewSource(4))
+	v := randomComplex(rng, s.params.Slots(), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.encoder.Encode(v, s.params.MaxLevel(), s.params.Scale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHAdd(b *testing.B) {
+	s, ct0, ct1 := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.eval.Add(ct0, ct1)
+	}
+}
+
+func BenchmarkHMultRelin(b *testing.B) {
+	s, ct0, ct1 := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.eval.MulRelin(ct0, ct1)
+	}
+}
+
+func BenchmarkHRot(b *testing.B) {
+	s, ct0, _ := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.eval.Rotate(ct0, 1)
+	}
+}
+
+func BenchmarkHRescale(b *testing.B) {
+	s, ct0, ct1 := benchSetup(b)
+	prod := s.eval.MulRelin(ct0, ct1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.eval.Rescale(prod)
+	}
+}
+
+func BenchmarkBootstrap(b *testing.B) {
+	if testing.Short() {
+		b.Skip("bootstrapping bench skipped with -short")
+	}
+	s, bt := bootSetup(b)
+	pt, _ := s.encoder.Encode([]complex128{0.25, -0.5}, 0, s.params.Scale)
+	ct, _ := s.enc.EncryptNew(pt)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bt.Bootstrap(ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package ckks
+
+import (
+	"fmt"
+	"math"
+
+	"bts/internal/ring"
+)
+
+// BootstrapParams configures the bootstrapping pipeline (the [40]-style
+// algorithm of Section 2.4: ModRaise → CoeffToSlot → EvalMod → SlotToCoeff).
+type BootstrapParams struct {
+	// K is the half-range of the scaled-sine approximation; it must bound
+	// ||I||∞ + 1 for the modulus-raising overflow polynomial I (which grows
+	// with the secret Hamming weight H).
+	K float64
+	// SineDegree is the Chebyshev degree approximating sin(2πy)/(2π) over
+	// [-K, K]. Depth consumed by EvalMod is ceil(log2(deg+1))+1.
+	SineDegree int
+}
+
+// DefaultBootstrapParams works for very sparse secrets (H ≤ 8, the toy
+// regime of this reproduction) with ~2^-15 output precision: ||I||∞ is
+// bounded by (1+H)/2 = 4.5 < K, and degree 63 > 2πK guarantees exponential
+// Chebyshev convergence of the scaled sine.
+func DefaultBootstrapParams() BootstrapParams {
+	return BootstrapParams{K: 6, SineDegree: 63}
+}
+
+// MinLevels returns the number of levels the pipeline consumes (L_boot):
+// 2 for CoeffToSlot, 1 for normalization, the EvalMod depth, 1 for
+// SlotToCoeff and 1 for the final rescale.
+func (bp BootstrapParams) MinLevels() int {
+	return 2 + 1 + (bitsFor(bp.SineDegree+1) + 1) + 1 + 1
+}
+
+// Bootstrapper refreshes exhausted ciphertexts: it takes a level-0 ct and
+// returns an encryption of the same message with levels restored — the op
+// that makes CKKS fully homomorphic and the focus of the BTS accelerator.
+type Bootstrapper struct {
+	ctx     *Context
+	encoder *Encoder
+	eval    *Evaluator
+	bp      BootstrapParams
+
+	cts *LinearTransform // CoeffToSlot: U^-1 · (Δ/q0), two-prime scale
+	stc *LinearTransform // SlotToCoeff: U · (q0/Δ), one-prime scale
+
+	sineCoeffs []float64
+	stcLevel   int
+}
+
+// NewBootstrapper precomputes the CoeffToSlot/SlotToCoeff matrices and the
+// sine approximation. The evaluator must hold a relinearization key and
+// rotation keys covering Rotations() (plus conjugation).
+func NewBootstrapper(ctx *Context, encoder *Encoder, eval *Evaluator, bp BootstrapParams) (*Bootstrapper, error) {
+	p := ctx.Params
+	L := p.MaxLevel()
+	if L < bp.MinLevels() {
+		return nil, fmt.Errorf("ckks: L=%d below bootstrapping budget %d", L, bp.MinLevels())
+	}
+	n := p.Slots()
+	q0 := float64(p.Q[0])
+	delta := p.Scale
+
+	bt := &Bootstrapper{ctx: ctx, encoder: encoder, eval: eval, bp: bp}
+
+	// Matrix columns are obtained by probing the special FFT with basis
+	// vectors; this *is* the homomorphic linear transform of the paper's
+	// bootstrapping, in single-stage (full-radix) form.
+	ctsCols := probeColumns(n, func(v []complex128) { encoder.fftSpecialInv(v) })
+	stcCols := probeColumns(n, func(v []complex128) { encoder.fftSpecial(v) })
+
+	ctsFactor := complex(delta/q0, 0)
+	ctsDiags := MatrixFromFunc(n, func(r, c int) complex128 { return ctsCols[c][r] * ctsFactor }, 0)
+	stcFactor := complex(q0/delta, 0)
+	stcDiags := MatrixFromFunc(n, func(r, c int) complex128 { return stcCols[c][r] * stcFactor }, 0)
+
+	ctsScale := float64(p.Q[L]) * float64(p.Q[L-1])
+	cts, err := NewLinearTransform(encoder, ctsDiags, L, ctsScale)
+	if err != nil {
+		return nil, err
+	}
+	bt.cts = cts
+
+	chebDepth := bitsFor(bp.SineDegree+1) + 1
+	bt.stcLevel = L - 3 - chebDepth
+	if bt.stcLevel < 1 {
+		return nil, fmt.Errorf("ckks: SlotToCoeff level %d too low", bt.stcLevel)
+	}
+	stc, err := NewLinearTransform(encoder, stcDiags, bt.stcLevel, float64(p.Q[bt.stcLevel]))
+	if err != nil {
+		return nil, err
+	}
+	bt.stc = stc
+
+	k := bp.K
+	bt.sineCoeffs = ChebyshevCoeffs(func(t float64) float64 {
+		return math.Sin(2*math.Pi*k*t) / (2 * math.Pi)
+	}, -1, 1, bp.SineDegree)
+	return bt, nil
+}
+
+// probeColumns applies transform to each basis vector, returning columns.
+func probeColumns(n int, transform func([]complex128)) [][]complex128 {
+	cols := make([][]complex128, n)
+	for k := 0; k < n; k++ {
+		v := make([]complex128, n)
+		v[k] = 1
+		transform(v)
+		cols[k] = v
+	}
+	return cols
+}
+
+// Rotations returns all rotation amounts the pipeline needs (conjugation key
+// is requested separately via GenRotationKeys(..., true)).
+func (bt *Bootstrapper) Rotations() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, r := range append(bt.cts.Rotations(), bt.stc.Rotations()...) {
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Bootstrap refreshes ct (which must be at level 0) and returns an
+// equivalent ciphertext at level MaxLevel - MinLevels. The message must
+// satisfy |m_coeff| ≪ q0 (true whenever Scale·|z| ≪ q0).
+func (bt *Bootstrapper) Bootstrap(ct *Ciphertext) (*Ciphertext, error) {
+	if ct.Level != 0 {
+		return nil, fmt.Errorf("ckks: Bootstrap expects a level-0 ciphertext, got level %d", ct.Level)
+	}
+	ev := bt.eval
+
+	// 1. ModRaise: re-interpret the mod-q0 residues over the whole chain;
+	// the plaintext becomes m + q0·I with small I (Section 2.4).
+	raised := bt.modRaise(ct)
+
+	// 2. CoeffToSlot: slots now hold (c_j + i·c_{j+n})/q0·(1/Δ-normalized).
+	ctv := ev.LinearTransform(raised, bt.cts)
+	ctv = ev.Rescale(ev.Rescale(ctv))
+
+	// 3. Conjugate split into two real-valued ciphertexts holding 2·Re(v)
+	// and 2·Im(v); the factor 2 is folded into the normalization constant
+	// so that every Chebyshev basis element keeps scale ≈ Δ.
+	conj := ev.Conjugate(ctv)
+	ctR := ev.Add(ctv, conj)
+	ctI := ev.MulByI(ev.Sub(conj, ctv))
+
+	// 4. Normalize to the Chebyshev domain t = y/K (and divide by 2).
+	ctR = bt.normalize(ctR)
+	ctI = bt.normalize(ctI)
+
+	// 5. EvalMod: the scaled sine realizes y ↦ y mod 1 (frac part = m/q0).
+	sR, err := ev.EvalChebyshev(ctR, bt.sineCoeffs)
+	if err != nil {
+		return nil, err
+	}
+	sI, err := ev.EvalChebyshev(ctI, bt.sineCoeffs)
+	if err != nil {
+		return nil, err
+	}
+
+	// 6. Recombine the real and imaginary halves.
+	comb := ev.Add(sR, ev.MulByI(sI))
+	if comb.Level < bt.stcLevel {
+		return nil, fmt.Errorf("ckks: level budget error: EvalMod output %d below SlotToCoeff level %d", comb.Level, bt.stcLevel)
+	}
+	if comb.Level > bt.stcLevel {
+		comb.DropLevel(bt.stcLevel)
+	}
+
+	// 7. SlotToCoeff back to the coefficient embedding.
+	out := ev.Rescale(ev.LinearTransform(comb, bt.stc))
+	return out, nil
+}
+
+func (bt *Bootstrapper) normalize(ct *Ciphertext) *Ciphertext {
+	q := float64(bt.ctx.Params.Q[ct.Level])
+	return bt.eval.Rescale(bt.eval.MulConst(ct, complex(1/(2*bt.bp.K), 0), q))
+}
+
+// modRaise lifts a level-0 ciphertext to the full modulus chain by centering
+// each coefficient modulo q0 and re-reducing modulo every q_i.
+func (bt *Bootstrapper) modRaise(ct *Ciphertext) *Ciphertext {
+	rq := bt.ctx.RingQ
+	L := rq.MaxLevel()
+	out := bt.ctx.NewCiphertext(L, ct.Scale)
+	for pi, pair := range [][2]*ring.Poly{{ct.C0, out.C0}, {ct.C1, out.C1}} {
+		_ = pi
+		src, dst := pair[0], pair[1]
+		tmp := make([]uint64, rq.N)
+		copy(tmp, src.Coeffs[0])
+		rq.INTTRow(tmp, 0)
+		q0 := rq.Moduli[0].Q
+		half := q0 >> 1
+		for i := 0; i <= L; i++ {
+			qi := rq.Moduli[i].Q
+			row := dst.Coeffs[i]
+			for j := 0; j < rq.N; j++ {
+				v := tmp[j]
+				if v > half { // negative representative
+					neg := q0 - v
+					row[j] = qi - neg%qi
+					if row[j] == qi {
+						row[j] = 0
+					}
+				} else {
+					row[j] = v % qi
+				}
+			}
+			rq.NTTRow(row, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,203 @@
+package ckks
+
+import (
+	"fmt"
+	"math"
+)
+
+// ChebyshevCoeffs returns the degree-`degree` Chebyshev interpolation of f
+// over [a,b]: coefficients c such that f(x) ≈ Σ c_k T_k(t) with
+// t = (2x-(a+b))/(b-a) ∈ [-1,1]. This is how bootstrapping approximates the
+// scaled sine that homomorphically realizes the modular reduction
+// (Section 2.4: "approximate sine evaluation").
+func ChebyshevCoeffs(f func(float64) float64, a, b float64, degree int) []float64 {
+	n := degree + 1
+	// Chebyshev nodes and function samples.
+	fx := make([]float64, n)
+	for j := 0; j < n; j++ {
+		t := math.Cos(math.Pi * (float64(j) + 0.5) / float64(n))
+		x := t*(b-a)/2 + (a+b)/2
+		fx[j] = f(x)
+	}
+	coeffs := make([]float64, n)
+	for k := 0; k < n; k++ {
+		s := 0.0
+		for j := 0; j < n; j++ {
+			s += fx[j] * math.Cos(math.Pi*float64(k)*(float64(j)+0.5)/float64(n))
+		}
+		coeffs[k] = 2 * s / float64(n)
+	}
+	coeffs[0] /= 2
+	return coeffs
+}
+
+// EvalChebyshevDirect evaluates the Chebyshev expansion at a plain float
+// (Clenshaw recurrence) — the reference against which the homomorphic
+// evaluation is tested.
+func EvalChebyshevDirect(coeffs []float64, t float64) float64 {
+	var b1, b2 float64
+	for k := len(coeffs) - 1; k >= 1; k-- {
+		b1, b2 = coeffs[k]+2*t*b1-b2, b1
+	}
+	return coeffs[0] + t*b1 - b2
+}
+
+// chebDivide divides the Chebyshev-basis polynomial p by T_g:
+// p = q·T_g + r, using T_i = 2·T_g·T_{i-g} - T_{|i-2g|}.
+func chebDivide(p []float64, g int) (q, r []float64) {
+	work := append([]float64(nil), p...)
+	d := len(work) - 1
+	q = make([]float64, d-g+1)
+	for i := d; i >= g; i-- {
+		c := work[i]
+		if c == 0 {
+			continue
+		}
+		if i == g {
+			q[0] += c
+		} else {
+			q[i-g] += 2 * c
+			k := i - 2*g
+			if k < 0 {
+				k = -k
+			}
+			work[k] -= c
+		}
+		work[i] = 0
+	}
+	r = work[:g]
+	return q, r
+}
+
+// trimCheb removes trailing (near-)zero coefficients.
+func trimCheb(p []float64) []float64 {
+	d := len(p)
+	for d > 0 && math.Abs(p[d-1]) < 1e-14 {
+		d--
+	}
+	return p[:d]
+}
+
+// EvalChebyshev homomorphically evaluates Σ c_k T_k(t) on a ciphertext
+// encoding t ∈ [-1,1], with the Paterson–Stockmeyer strategy: a baby-step
+// basis T_1..T_bs, giant powers T_{2^j·bs}, and recursive Chebyshev division.
+// Multiplicative depth ≈ ceil(log2(degree))+1. The result keeps scale ≈ Δ.
+func (ev *Evaluator) EvalChebyshev(ct *Ciphertext, coeffs []float64) (*Ciphertext, error) {
+	coeffs = trimCheb(append([]float64(nil), coeffs...))
+	if len(coeffs) == 0 {
+		return nil, fmt.Errorf("ckks: empty Chebyshev polynomial")
+	}
+	degree := len(coeffs) - 1
+	if degree == 0 {
+		out := ev.MulConst(ct, 0, float64(ev.params().Q[ct.Level]))
+		out = ev.Rescale(out)
+		return ev.AddConst(out, complex(coeffs[0], 0)), nil
+	}
+	// Baby-step count: 2^ceil(m/2) for degree < 2^m.
+	m := bitsFor(degree + 1)
+	bs := 1 << ((m + 1) / 2)
+	basis := map[int]*Ciphertext{1: ct}
+	// T_1..T_bs.
+	for k := 2; k <= bs; k++ {
+		ev.chebPower(basis, k)
+	}
+	// Giant powers T_{2bs}, T_{4bs}, ... up to degree.
+	for g := 2 * bs; g <= degree; g *= 2 {
+		ev.chebPower(basis, g)
+	}
+	return ev.evalChebPS(coeffs, basis, bs), nil
+}
+
+func bitsFor(v int) int {
+	b := 0
+	for 1<<b < v {
+		b++
+	}
+	return b
+}
+
+// chebPower inserts T_k into the basis using T_{a+b} = 2·T_a·T_b - T_{|a-b|}.
+func (ev *Evaluator) chebPower(basis map[int]*Ciphertext, k int) {
+	if _, ok := basis[k]; ok {
+		return
+	}
+	a := k / 2
+	b := k - a
+	ev.chebPower(basis, a)
+	ev.chebPower(basis, b)
+	ta, tb := basis[a], basis[b]
+	prod := ev.Rescale(ev.MulRelin(ta, tb))
+	dbl := ev.Add(prod, prod)
+	var out *Ciphertext
+	if a == b {
+		out = ev.AddConst(dbl, -1) // T_{2a} = 2T_a² - 1
+	} else {
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		ev.chebPower(basis, d)
+		out = ev.Sub(dbl, basis[d])
+	}
+	basis[k] = out
+}
+
+// evalChebPS is the recursive Paterson–Stockmeyer evaluation.
+func (ev *Evaluator) evalChebPS(coeffs []float64, basis map[int]*Ciphertext, bs int) *Ciphertext {
+	coeffs = trimCheb(coeffs)
+	if len(coeffs) <= bs {
+		return ev.chebLinearCombo(coeffs, basis)
+	}
+	d := len(coeffs) - 1
+	g := bs
+	for g*2 <= d {
+		g *= 2
+	}
+	qc, rc := chebDivide(coeffs, g)
+	q := ev.evalChebPS(qc, basis, bs)
+	r := ev.evalChebPS(rc, basis, bs)
+	prod := ev.Rescale(ev.MulRelin(q, basis[g]))
+	return ev.Add(prod, r)
+}
+
+// chebLinearCombo computes Σ_{k≤deg<bs} c_k·T_k + c_0 in one level.
+func (ev *Evaluator) chebLinearCombo(coeffs []float64, basis map[int]*Ciphertext) *Ciphertext {
+	// Find the lowest level among the basis elements we need.
+	lvl := basis[1].Level
+	for k := 1; k < len(coeffs); k++ {
+		if math.Abs(coeffs[k]) > 1e-14 && basis[k].Level < lvl {
+			lvl = basis[k].Level
+		}
+	}
+	cScale := float64(ev.params().Q[lvl])
+	var acc *Ciphertext
+	for k := 1; k < len(coeffs); k++ {
+		if math.Abs(coeffs[k]) <= 1e-14 {
+			continue
+		}
+		t := basis[k].CopyNew(ev.ctx)
+		if t.Level > lvl {
+			t.DropLevel(lvl)
+		}
+		term := ev.MulConst(t, complex(coeffs[k], 0), cScale)
+		if acc == nil {
+			acc = term
+		} else {
+			acc = ev.Add(acc, term)
+		}
+	}
+	if acc == nil {
+		// Constant polynomial: build an encryption of c_0 at the basis scale.
+		z := ev.MulConst(basis[1], 0, cScale)
+		acc = z
+	}
+	out := ev.Rescale(acc)
+	c0 := 0.0
+	if len(coeffs) > 0 {
+		c0 = coeffs[0]
+	}
+	if c0 != 0 {
+		out = ev.AddConst(out, complex(c0, 0))
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package ckks
+
+import (
+	"fmt"
+
+	"bts/internal/ring"
+)
+
+// Plaintext is an encoded (unencrypted) message: a polynomial in R_Q at a
+// given level, kept in the NTT domain, carrying its encoding scale Δ.
+type Plaintext struct {
+	Value *ring.Poly
+	Level int
+	Scale float64
+}
+
+// Ciphertext is a CKKS ciphertext ct = (b, a) ∈ R_Q^2 at a given level
+// (Section 2.2). Both polynomials are kept in the NTT domain, the resident
+// format of BTS (Section 4.1).
+type Ciphertext struct {
+	C0, C1 *ring.Poly // b(X), a(X)
+	Level  int
+	Scale  float64
+}
+
+// NewCiphertext allocates a zero ciphertext at the given level and scale.
+func (ctx *Context) NewCiphertext(level int, scale float64) *Ciphertext {
+	return &Ciphertext{
+		C0:    ctx.RingQ.NewPolyLevel(level),
+		C1:    ctx.RingQ.NewPolyLevel(level),
+		Level: level,
+		Scale: scale,
+	}
+}
+
+// CopyNew returns a deep copy of ct.
+func (ct *Ciphertext) CopyNew(ctx *Context) *Ciphertext {
+	out := ctx.NewCiphertext(ct.Level, ct.Scale)
+	ctx.RingQ.CopyLevel(out.C0, ct.C0, ct.Level)
+	ctx.RingQ.CopyLevel(out.C1, ct.C1, ct.Level)
+	return out
+}
+
+// DropLevel truncates ct to the given lower level without rescaling (the
+// scale is unchanged; only residue rows are discarded).
+func (ct *Ciphertext) DropLevel(to int) {
+	if to > ct.Level {
+		panic(fmt.Sprintf("ckks: DropLevel to %d above current level %d", to, ct.Level))
+	}
+	ct.Level = to
+}
+
+// String summarizes the ciphertext's level and scale for diagnostics.
+func (ct *Ciphertext) String() string {
+	return fmt.Sprintf("Ciphertext{level=%d, logScale=%.2f}", ct.Level, log2f(ct.Scale))
+}

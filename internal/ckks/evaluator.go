@@ -1,0 +1,344 @@
+package ckks
+
+import (
+	"fmt"
+	"math"
+
+	"bts/internal/mod"
+	"bts/internal/ring"
+)
+
+// scaleTolerance is the maximum relative scale mismatch silently accepted by
+// homomorphic additions. With primes generated within ~2^-25 of the nominal
+// scale, drift across an entire bootstrapping stays far below this bound.
+const scaleTolerance = 1.0 / (1 << 8)
+
+// Evaluator applies the primitive HE ops of Section 2.3: HAdd, HMult (tensor
+// product + key-switching, Eq. 3-4), HRot (automorphism + key-switching,
+// Eq. 5-6), HRescale, and the plaintext/constant variants.
+type Evaluator struct {
+	ctx     *Context
+	encoder *Encoder
+	rlk     *SwitchingKey
+	rtks    *RotationKeySet
+}
+
+// NewEvaluator builds an evaluator. rlk may be nil if no multiplications are
+// relinearized; rtks may be nil if no rotations are performed.
+func NewEvaluator(ctx *Context, encoder *Encoder, rlk *SwitchingKey, rtks *RotationKeySet) *Evaluator {
+	return &Evaluator{ctx: ctx, encoder: encoder, rlk: rlk, rtks: rtks}
+}
+
+func (ev *Evaluator) params() Parameters { return ev.ctx.Params }
+
+// alignLevels returns min(ct0.Level, ct1.Level).
+func alignLevels(ct0, ct1 *Ciphertext) int {
+	if ct0.Level < ct1.Level {
+		return ct0.Level
+	}
+	return ct1.Level
+}
+
+func checkScales(s0, s1 float64, op string) float64 {
+	hi, lo := s0, s1
+	if hi < lo {
+		hi, lo = lo, hi
+	}
+	if hi/lo-1 > scaleTolerance {
+		panic(fmt.Sprintf("ckks: %s with mismatched scales 2^%.3f vs 2^%.3f", op, math.Log2(s0), math.Log2(s1)))
+	}
+	return hi
+}
+
+// Add returns ct0 + ct1 (HAdd, Eq. 2).
+func (ev *Evaluator) Add(ct0, ct1 *Ciphertext) *Ciphertext {
+	lvl := alignLevels(ct0, ct1)
+	scale := checkScales(ct0.Scale, ct1.Scale, "Add")
+	out := ev.ctx.NewCiphertext(lvl, scale)
+	ev.ctx.RingQ.Add(ct0.C0, ct1.C0, out.C0, lvl)
+	ev.ctx.RingQ.Add(ct0.C1, ct1.C1, out.C1, lvl)
+	return out
+}
+
+// Sub returns ct0 - ct1.
+func (ev *Evaluator) Sub(ct0, ct1 *Ciphertext) *Ciphertext {
+	lvl := alignLevels(ct0, ct1)
+	scale := checkScales(ct0.Scale, ct1.Scale, "Sub")
+	out := ev.ctx.NewCiphertext(lvl, scale)
+	ev.ctx.RingQ.Sub(ct0.C0, ct1.C0, out.C0, lvl)
+	ev.ctx.RingQ.Sub(ct0.C1, ct1.C1, out.C1, lvl)
+	return out
+}
+
+// Neg returns -ct.
+func (ev *Evaluator) Neg(ct *Ciphertext) *Ciphertext {
+	out := ev.ctx.NewCiphertext(ct.Level, ct.Scale)
+	ev.ctx.RingQ.Neg(ct.C0, out.C0, ct.Level)
+	ev.ctx.RingQ.Neg(ct.C1, out.C1, ct.Level)
+	return out
+}
+
+// AddPlain returns ct + pt (PAdd).
+func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
+	lvl := ct.Level
+	if pt.Level < lvl {
+		lvl = pt.Level
+	}
+	scale := checkScales(ct.Scale, pt.Scale, "AddPlain")
+	out := ev.ctx.NewCiphertext(lvl, scale)
+	ev.ctx.RingQ.Add(ct.C0, pt.Value, out.C0, lvl)
+	ev.ctx.RingQ.CopyLevel(out.C1, ct.C1, lvl)
+	return out
+}
+
+// MulPlain returns ct ⊙ pt (PMult) without rescaling; the output scale is the
+// product of the input scales.
+func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
+	lvl := ct.Level
+	if pt.Level < lvl {
+		lvl = pt.Level
+	}
+	out := ev.ctx.NewCiphertext(lvl, ct.Scale*pt.Scale)
+	ev.ctx.RingQ.MulCoeffs(ct.C0, pt.Value, out.C0, lvl)
+	ev.ctx.RingQ.MulCoeffs(ct.C1, pt.Value, out.C1, lvl)
+	return out
+}
+
+// AddConst returns ct + c, adding the constant to every slot. Exact for the
+// real part (a constant polynomial) and uses the X^(N/2) monomial for the
+// imaginary part, so no level is consumed.
+func (ev *Evaluator) AddConst(ct *Ciphertext, c complex128) *Ciphertext {
+	out := ct.CopyNew(ev.ctx)
+	rq := ev.ctx.RingQ
+	re := int64(math.Round(real(c) * ct.Scale))
+	im := int64(math.Round(imag(c) * ct.Scale))
+	if re != 0 {
+		// A constant polynomial has the same value in every NTT slot.
+		for i := 0; i <= ct.Level; i++ {
+			q := rq.Moduli[i].Q
+			var w uint64
+			if re >= 0 {
+				w = uint64(re) % q
+			} else {
+				w = q - uint64(-re)%q
+			}
+			row := out.C0.Coeffs[i]
+			for j := range row {
+				row[j] = mod.Add(row[j], w, q)
+			}
+		}
+	}
+	if im != 0 {
+		mono := rq.NewPolyLevel(ct.Level)
+		one := rq.NewPolyLevel(ct.Level)
+		for i := 0; i <= ct.Level; i++ {
+			q := rq.Moduli[i].Q
+			var w uint64
+			if im >= 0 {
+				w = uint64(im) % q
+			} else {
+				w = q - uint64(-im)%q
+			}
+			row := one.Coeffs[i]
+			for j := range row {
+				row[j] = w
+			}
+		}
+		rq.MulByMonomialNTT(one, rq.N/2, mono, ct.Level)
+		rq.Add(out.C0, mono, out.C0, ct.Level)
+	}
+	return out
+}
+
+// MulConst multiplies every slot by the constant c, encoding it at constScale
+// (the output scale is ct.Scale*constScale and no rescaling is performed).
+// Pure real constants use a scalar fast path; complex constants combine the
+// real scalar with the exact X^(N/2) imaginary unit.
+func (ev *Evaluator) MulConst(ct *Ciphertext, c complex128, constScale float64) *Ciphertext {
+	rq := ev.ctx.RingQ
+	lvl := ct.Level
+	re := int64(math.Round(real(c) * constScale))
+	im := int64(math.Round(imag(c) * constScale))
+	out := ev.ctx.NewCiphertext(lvl, ct.Scale*constScale)
+	rq.MulScalarInt64(ct.C0, re, out.C0, lvl)
+	rq.MulScalarInt64(ct.C1, re, out.C1, lvl)
+	if im != 0 {
+		t0 := rq.NewPolyLevel(lvl)
+		t1 := rq.NewPolyLevel(lvl)
+		rq.MulByMonomialNTT(ct.C0, rq.N/2, t0, lvl)
+		rq.MulByMonomialNTT(ct.C1, rq.N/2, t1, lvl)
+		s0 := rq.NewPolyLevel(lvl)
+		s1 := rq.NewPolyLevel(lvl)
+		rq.MulScalarInt64(t0, im, s0, lvl)
+		rq.MulScalarInt64(t1, im, s1, lvl)
+		rq.Add(out.C0, s0, out.C0, lvl)
+		rq.Add(out.C1, s1, out.C1, lvl)
+	}
+	return out
+}
+
+// MulByI multiplies every slot by the imaginary unit i — an exact, free
+// operation realized as multiplication by the monomial X^(N/2).
+func (ev *Evaluator) MulByI(ct *Ciphertext) *Ciphertext {
+	rq := ev.ctx.RingQ
+	out := ev.ctx.NewCiphertext(ct.Level, ct.Scale)
+	rq.MulByMonomialNTT(ct.C0, rq.N/2, out.C0, ct.Level)
+	rq.MulByMonomialNTT(ct.C1, rq.N/2, out.C1, ct.Level)
+	return out
+}
+
+// MulRelin returns ct0 ⊗ ct1 followed by relinearization (HMult, Eqs. 3-4).
+// The output scale is the product of the input scales; callers normally
+// Rescale afterwards.
+func (ev *Evaluator) MulRelin(ct0, ct1 *Ciphertext) *Ciphertext {
+	if ev.rlk == nil {
+		panic("ckks: MulRelin without relinearization key")
+	}
+	rq := ev.ctx.RingQ
+	lvl := alignLevels(ct0, ct1)
+
+	d0 := rq.NewPolyLevel(lvl)
+	d1 := rq.NewPolyLevel(lvl)
+	d2 := rq.NewPolyLevel(lvl)
+	rq.MulCoeffs(ct0.C0, ct1.C0, d0, lvl)
+	rq.MulCoeffs(ct0.C0, ct1.C1, d1, lvl)
+	rq.MulCoeffsAndAdd(ct0.C1, ct1.C0, d1, lvl)
+	rq.MulCoeffs(ct0.C1, ct1.C1, d2, lvl)
+
+	ks0, ks1 := ev.keySwitch(d2, lvl, ev.rlk)
+	out := ev.ctx.NewCiphertext(lvl, ct0.Scale*ct1.Scale)
+	rq.Add(d0, ks0, out.C0, lvl)
+	rq.Add(d1, ks1, out.C1, lvl)
+	return out
+}
+
+// Square is MulRelin(ct, ct).
+func (ev *Evaluator) Square(ct *Ciphertext) *Ciphertext { return ev.MulRelin(ct, ct) }
+
+// Rescale divides ct by the current last prime and drops one level
+// (HRescale, Section 2.4). The tracked scale is divided by that prime.
+func (ev *Evaluator) Rescale(ct *Ciphertext) *Ciphertext {
+	if ct.Level == 0 {
+		panic("ckks: cannot rescale a level-0 ciphertext")
+	}
+	rq := ev.ctx.RingQ
+	out := ct.CopyNew(ev.ctx)
+	q := float64(rq.Moduli[ct.Level].Q)
+	rq.DivRoundByLastModulusNTT(out.C0, ct.Level)
+	rq.DivRoundByLastModulusNTT(out.C1, ct.Level)
+	out.Level = ct.Level - 1
+	out.Scale = ct.Scale / q
+	return out
+}
+
+// Rotate returns HRot(ct, r): the message vector circularly shifted left by r
+// slots (Eq. 5-6). Requires the rotation key for 5^r.
+func (ev *Evaluator) Rotate(ct *Ciphertext, r int) *Ciphertext {
+	g := ev.ctx.RingQ.GaloisElement(r)
+	return ev.automorphism(ct, g)
+}
+
+// Conjugate returns the slot-wise complex conjugate of ct. Requires the
+// conjugation key.
+func (ev *Evaluator) Conjugate(ct *Ciphertext) *Ciphertext {
+	return ev.automorphism(ct, ev.ctx.RingQ.GaloisConjugate())
+}
+
+func (ev *Evaluator) automorphism(ct *Ciphertext, g uint64) *Ciphertext {
+	if g == 1 {
+		return ct.CopyNew(ev.ctx)
+	}
+	if ev.rtks == nil {
+		panic("ckks: rotation without rotation keys")
+	}
+	swk, ok := ev.rtks.Keys[g]
+	if !ok {
+		panic(fmt.Sprintf("ckks: missing rotation key for Galois element %d", g))
+	}
+	rq := ev.ctx.RingQ
+	lvl := ct.Level
+	rb := rq.NewPolyLevel(lvl)
+	ra := rq.NewPolyLevel(lvl)
+	rq.AutomorphismNTT(ct.C0, g, rb, lvl)
+	rq.AutomorphismNTT(ct.C1, g, ra, lvl)
+	ks0, ks1 := ev.keySwitch(ra, lvl, swk)
+	out := ev.ctx.NewCiphertext(lvl, ct.Scale)
+	rq.Add(rb, ks0, out.C0, lvl)
+	rq.CopyLevel(out.C1, ks1, lvl)
+	return out
+}
+
+// keySwitch recombines d (NTT domain, level lvl), decryptable under the
+// switching key's source secret, into a pair decryptable under s. This is
+// the pipeline of Fig. 3(a): per decomposition slice, iNTT → BConv (ModUp)
+// → NTT → multiply-accumulate with the evk, then a final ModDown dividing
+// by P (the subtraction-scaling-addition the paper fuses as SSA).
+func (ev *Evaluator) keySwitch(d *ring.Poly, lvl int, swk *SwitchingKey) (ks0, ks1 *ring.Poly) {
+	ctx := ev.ctx
+	rq, rp := ctx.RingQ, ctx.RingP
+	lp := rp.MaxLevel()
+	beta := ctx.Params.Beta(lvl)
+
+	dCoeff := rq.CopyNew(d, lvl)
+	rq.INTT(dCoeff, lvl)
+
+	accQ0 := rq.NewPolyLevel(lvl)
+	accQ1 := rq.NewPolyLevel(lvl)
+	accP0 := rp.NewPoly(lp + 1)
+	accP1 := rp.NewPoly(lp + 1)
+
+	tmpQ := rq.NewPolyLevel(lvl)
+	tmpP := rp.NewPoly(lp + 1)
+
+	for j := 0; j < beta; j++ {
+		lo, hi := ctx.groupRange(j, lvl)
+		// ModUp: extend the slice's residues to the rest of the basis.
+		src := dCoeff.Coeffs[lo : hi+1]
+		dst := make([][]uint64, 0, lvl+1+lp)
+		for i := 0; i <= lvl; i++ {
+			if i < lo || i > hi {
+				dst = append(dst, tmpQ.Coeffs[i])
+			}
+		}
+		dst = append(dst, tmpP.Coeffs...)
+		ctx.modUpExtender(j, lvl).Convert(src, dst)
+		for i := lo; i <= hi; i++ {
+			copy(tmpQ.Coeffs[i], dCoeff.Coeffs[i])
+		}
+		rq.NTT(tmpQ, lvl)
+		rp.NTT(tmpP, lp)
+
+		// Multiply-accumulate with the evk slice (element-wise, Fig. 3a).
+		rq.MulCoeffsAndAdd(tmpQ, swk.Value[j][0].Q, accQ0, lvl)
+		rp.MulCoeffsAndAdd(tmpP, swk.Value[j][0].P, accP0, lp)
+		rq.MulCoeffsAndAdd(tmpQ, swk.Value[j][1].Q, accQ1, lvl)
+		rp.MulCoeffsAndAdd(tmpP, swk.Value[j][1].P, accP1, lp)
+	}
+
+	ks0 = ev.modDown(accQ0, accP0, lvl)
+	ks1 = ev.modDown(accQ1, accP1, lvl)
+	return ks0, ks1
+}
+
+// modDown divides (accQ, accP) by P: BConv the P-part onto the q-basis,
+// subtract, and scale by P^-1 mod q_i (the 1/P step of Eq. 4).
+func (ev *Evaluator) modDown(accQ, accP *ring.Poly, lvl int) *ring.Poly {
+	ctx := ev.ctx
+	rq, rp := ctx.RingQ, ctx.RingP
+	lp := rp.MaxLevel()
+	rp.INTT(accP, lp)
+	tmp := rq.NewPolyLevel(lvl)
+	ctx.modDownExtender(lvl).Convert(accP.Coeffs, tmp.Coeffs)
+	rq.NTT(tmp, lvl)
+	out := rq.NewPolyLevel(lvl)
+	for i := 0; i <= lvl; i++ {
+		q := rq.Moduli[i].Q
+		pInv := ctx.pInvModQ[i]
+		pInvShoup := mod.ShoupPrecomp(pInv, q)
+		a, b, o := accQ.Coeffs[i], tmp.Coeffs[i], out.Coeffs[i]
+		for t := 0; t < rq.N; t++ {
+			o[t] = mod.MulShoup(mod.Sub(a[t], b[t], q), pInv, pInvShoup, q)
+		}
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+package ckks
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// LinearTransform is a plaintext matrix in diagonal representation, evaluated
+// homomorphically with the baby-step/giant-step (BSGS) algorithm: the
+// workhorse of the homomorphic linear transformations inside bootstrapping
+// (Section 2.4: "bootstrapping mainly consists of homomorphic linear
+// transforms and approximate sine evaluation").
+type LinearTransform struct {
+	// diags maps the diagonal index k to the encoded diagonal, pre-rotated
+	// by -(k/n1)*n1 slots as BSGS requires.
+	diags map[int]*Plaintext
+	n1    int
+	// Level and Scale are where/how the diagonals were encoded.
+	Level int
+	Scale float64
+	slots int
+}
+
+// NewLinearTransform encodes the matrix given by its generalized diagonals
+// (diags[k][j] = M[j][(j+k) mod slots]) at the given level and plaintext
+// scale. Slots must equal the parameter slot count; zero diagonals may be
+// omitted from the map.
+func NewLinearTransform(enc *Encoder, diags map[int][]complex128, level int, scale float64) (*LinearTransform, error) {
+	n := enc.Slots()
+	if len(diags) == 0 {
+		return nil, fmt.Errorf("ckks: linear transform with no diagonals")
+	}
+	n1 := bsgsSplit(len(diags), n)
+	lt := &LinearTransform{
+		diags: make(map[int]*Plaintext, len(diags)),
+		n1:    n1,
+		Level: level,
+		Scale: scale,
+		slots: n,
+	}
+	for k, d := range diags {
+		if len(d) != n {
+			return nil, fmt.Errorf("ckks: diagonal %d has %d entries, want %d", k, len(d), n)
+		}
+		k = ((k % n) + n) % n
+		g := k / n1
+		rot := make([]complex128, n)
+		// Pre-rotate by -(g*n1): rot[j] = d[(j - g*n1) mod n].
+		for j := 0; j < n; j++ {
+			rot[j] = d[((j-g*n1)%n+n)%n]
+		}
+		pt, err := enc.Encode(rot, level, scale)
+		if err != nil {
+			return nil, err
+		}
+		lt.diags[k] = pt
+	}
+	return lt, nil
+}
+
+// bsgsSplit picks the baby-step count n1 (a power of two) minimizing
+// n1 + #diags/n1, the number of HRot ops the transform performs.
+func bsgsSplit(nDiags, slots int) int {
+	best, bestCost := 1, math.MaxInt
+	for n1 := 1; n1 <= slots; n1 <<= 1 {
+		cost := n1 + (nDiags+n1-1)/n1
+		if cost < bestCost {
+			best, bestCost = n1, cost
+		}
+	}
+	return best
+}
+
+// Rotations returns the rotation amounts required to evaluate the transform
+// (keys the caller must generate).
+func (lt *LinearTransform) Rotations() []int {
+	set := map[int]bool{}
+	for k := range lt.diags {
+		b := k % lt.n1
+		g := k / lt.n1
+		if b != 0 {
+			set[b] = true
+		}
+		if g != 0 {
+			set[g*lt.n1] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// LinearTransform applies lt to ct: out = M · slots(ct), not rescaled (the
+// output scale is ct.Scale·lt.Scale). It performs #babysteps + #giantsteps
+// HRot ops and one PMult+HAdd per stored diagonal — exactly the op mix the
+// bootstrapping trace generator (internal/workload) accounts for.
+func (ev *Evaluator) LinearTransform(ct *Ciphertext, lt *LinearTransform) *Ciphertext {
+	// Group diagonals by giant step.
+	byGiant := map[int][]int{}
+	for k := range lt.diags {
+		byGiant[k/lt.n1] = append(byGiant[k/lt.n1], k)
+	}
+	// Baby-step rotations of the input.
+	babies := map[int]*Ciphertext{}
+	need := map[int]bool{}
+	for _, ks := range byGiant {
+		for _, k := range ks {
+			need[k%lt.n1] = true
+		}
+	}
+	for b := range need {
+		if b == 0 {
+			babies[0] = ct
+		} else {
+			babies[b] = ev.Rotate(ct, b)
+		}
+	}
+	giants := make([]int, 0, len(byGiant))
+	for g := range byGiant {
+		giants = append(giants, g)
+	}
+	sort.Ints(giants)
+
+	var out *Ciphertext
+	for _, g := range giants {
+		var inner *Ciphertext
+		ks := byGiant[g]
+		sort.Ints(ks)
+		for _, k := range ks {
+			term := ev.MulPlain(babies[k%lt.n1], lt.diags[k])
+			if inner == nil {
+				inner = term
+			} else {
+				inner = ev.Add(inner, term)
+			}
+		}
+		if g != 0 {
+			inner = ev.Rotate(inner, g*lt.n1)
+		}
+		if out == nil {
+			out = inner
+		} else {
+			out = ev.Add(out, inner)
+		}
+	}
+	return out
+}
+
+// MatrixFromFunc builds the diagonal representation of an arbitrary n×n
+// complex matrix given entry-wise, dropping diagonals whose largest entry is
+// below dropTol (0 keeps everything).
+func MatrixFromFunc(n int, entry func(row, col int) complex128, dropTol float64) map[int][]complex128 {
+	diags := map[int][]complex128{}
+	for k := 0; k < n; k++ {
+		d := make([]complex128, n)
+		maxAbs := 0.0
+		for j := 0; j < n; j++ {
+			d[j] = entry(j, (j+k)%n)
+			if a := cabs(d[j]); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if maxAbs > dropTol {
+			diags[k] = d
+		}
+	}
+	return diags
+}
+
+func cabs(c complex128) float64 {
+	return math.Hypot(real(c), imag(c))
+}

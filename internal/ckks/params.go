@@ -1,0 +1,257 @@
+// Package ckks implements the Full-RNS CKKS homomorphic encryption scheme
+// (Cheon-Kim-Kim-Song with the RNS optimizations of Section 2 of the BTS
+// paper), including the generalized dnum key-switching of Han-Ki (Eq. 7) and
+// full bootstrapping (ModRaise → CoeffToSlot → EvalMod → SlotToCoeff).
+//
+// This is the workload library that the BTS accelerator executes; the
+// internal/sim package models how its primitive functions (NTT, iNTT, BConv,
+// element-wise ops, automorphism) map onto the accelerator's hardware.
+package ckks
+
+import (
+	"fmt"
+	"math"
+
+	"bts/internal/mod"
+	"bts/internal/ring"
+)
+
+// Parameters fully determines a CKKS instance (the paper's Table 2 symbols).
+type Parameters struct {
+	// LogN is log2 of the polynomial degree N.
+	LogN int
+	// Q is the prime modulus chain q_0..q_L (L+1 primes).
+	Q []uint64
+	// P is the special prime chain p_0..p_{k-1} used by key-switching.
+	P []uint64
+	// Dnum is the key-switching decomposition number (Eq. 7). The number of
+	// special primes k must equal ceil((L+1)/Dnum).
+	Dnum int
+	// Scale is the default encoding scale Δ.
+	Scale float64
+	// H is the Hamming weight of the sparse ternary secret.
+	H int
+	// Sigma is the standard deviation of the LWE error distribution.
+	Sigma float64
+}
+
+// N returns the polynomial degree.
+func (p Parameters) N() int { return 1 << p.LogN }
+
+// Slots returns the number of message slots N/2.
+func (p Parameters) Slots() int { return 1 << (p.LogN - 1) }
+
+// MaxLevel returns L, the maximum multiplicative level.
+func (p Parameters) MaxLevel() int { return len(p.Q) - 1 }
+
+// Alpha returns the number of primes per decomposition group, equal to the
+// number of special primes k = (L+1)/dnum (Section 2.5).
+func (p Parameters) Alpha() int { return (p.MaxLevel() + p.Dnum) / p.Dnum }
+
+// Beta returns the number of decomposition groups spanned by a ciphertext at
+// the given level: ceil((level+1)/alpha). At the maximum level this is Dnum.
+func (p Parameters) Beta(level int) int {
+	a := p.Alpha()
+	return (level + 1 + a - 1) / a
+}
+
+// LogQP returns log2 of the full modulus product P·Q, the quantity that
+// (together with N) determines the security level λ (Section 2.5).
+func (p Parameters) LogQP() float64 {
+	s := 0.0
+	for _, q := range p.Q {
+		s += math.Log2(float64(q))
+	}
+	for _, q := range p.P {
+		s += math.Log2(float64(q))
+	}
+	return s
+}
+
+// Validate checks internal consistency of the parameter set.
+func (p Parameters) Validate() error {
+	if p.LogN < 4 || p.LogN > 17 {
+		return fmt.Errorf("ckks: LogN=%d outside [4,17]", p.LogN)
+	}
+	if len(p.Q) == 0 {
+		return fmt.Errorf("ckks: empty modulus chain")
+	}
+	if p.Dnum < 1 || p.Dnum > len(p.Q) {
+		return fmt.Errorf("ckks: Dnum=%d outside [1,L+1=%d]", p.Dnum, len(p.Q))
+	}
+	if len(p.P) != p.Alpha() {
+		return fmt.Errorf("ckks: got %d special primes, need alpha=%d", len(p.P), p.Alpha())
+	}
+	if p.Scale < 2 {
+		return fmt.Errorf("ckks: scale %f too small", p.Scale)
+	}
+	if p.H < 1 || p.H >= p.N() {
+		return fmt.Errorf("ckks: secret Hamming weight %d outside (0,N)", p.H)
+	}
+	seen := map[uint64]bool{}
+	for _, q := range append(append([]uint64{}, p.Q...), p.P...) {
+		if seen[q] {
+			return fmt.Errorf("ckks: duplicate modulus %d", q)
+		}
+		seen[q] = true
+	}
+	return nil
+}
+
+// ParametersLiteral describes a parameter set by prime bit-sizes; the actual
+// NTT-friendly primes are generated on construction.
+type ParametersLiteral struct {
+	LogN     int
+	LogQ     []int // bit sizes of q_0..q_L
+	LogP     int   // bit size of every special prime
+	Dnum     int
+	LogScale int
+	H        int
+	Sigma    float64
+}
+
+// NewParameters generates the prime chains described by the literal and
+// returns the resulting Parameters.
+func NewParameters(lit ParametersLiteral) (Parameters, error) {
+	if lit.Sigma == 0 {
+		lit.Sigma = 3.2
+	}
+	// Group requested q-sizes so equal sizes share one generation sweep and
+	// all primes stay distinct.
+	bySize := map[int]int{}
+	for _, lq := range lit.LogQ {
+		bySize[lq]++
+	}
+	alpha := (len(lit.LogQ) + lit.Dnum - 1) / lit.Dnum
+	bySize[lit.LogP] += alpha // specials share the sweep with same-sized q primes
+	generated := map[int][]uint64{}
+	for size, count := range bySize {
+		ps, err := mod.GenerateNTTPrimes(size, lit.LogN, count)
+		if err != nil {
+			return Parameters{}, err
+		}
+		generated[size] = ps
+	}
+	next := func(size int) uint64 {
+		ps := generated[size]
+		q := ps[0]
+		generated[size] = ps[1:]
+		return q
+	}
+	p := Parameters{
+		LogN:  lit.LogN,
+		Dnum:  lit.Dnum,
+		Scale: math.Exp2(float64(lit.LogScale)),
+		H:     lit.H,
+		Sigma: lit.Sigma,
+	}
+	for _, lq := range lit.LogQ {
+		p.Q = append(p.Q, next(lq))
+	}
+	for i := 0; i < alpha; i++ {
+		p.P = append(p.P, next(lit.LogP))
+	}
+	if err := p.Validate(); err != nil {
+		return Parameters{}, err
+	}
+	return p, nil
+}
+
+// Context carries the rings and cached conversion tables for a parameter set.
+// It is the entry point for building encoders, key generators, encryptors and
+// evaluators.
+type Context struct {
+	Params Parameters
+	RingQ  *ring.Ring // R over the q-chain
+	RingP  *ring.Ring // R over the special p-chain
+
+	pModQ    []uint64 // [P]_{q_i}, used when generating switching keys
+	pInvModQ []uint64 // [P^-1]_{q_i}, used by ModDown
+
+	modUpCache   map[[2]int]*ring.BasisExtender // (group j, level) → extender
+	modDownCache map[int]*ring.BasisExtender    // level → extender P→C_level
+}
+
+// NewContext builds the rings and precomputed tables for params.
+func NewContext(params Parameters) (*Context, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	rq, err := ring.NewRing(params.LogN, params.Q)
+	if err != nil {
+		return nil, err
+	}
+	rp, err := ring.NewRing(params.LogN, params.P)
+	if err != nil {
+		return nil, err
+	}
+	ctx := &Context{
+		Params:       params,
+		RingQ:        rq,
+		RingP:        rp,
+		modUpCache:   make(map[[2]int]*ring.BasisExtender),
+		modDownCache: make(map[int]*ring.BasisExtender),
+	}
+	ctx.pModQ = make([]uint64, len(params.Q))
+	ctx.pInvModQ = make([]uint64, len(params.Q))
+	for i, q := range params.Q {
+		pm := uint64(1)
+		for _, pj := range params.P {
+			pm = mod.Mul(pm, pj%q, q)
+		}
+		ctx.pModQ[i] = pm
+		ctx.pInvModQ[i] = mod.Inv(pm, q)
+	}
+	return ctx, nil
+}
+
+// groupRange returns the q-prime index range [lo,hi] of decomposition group j
+// at the given level.
+func (ctx *Context) groupRange(j, level int) (lo, hi int) {
+	a := ctx.Params.Alpha()
+	lo = j * a
+	hi = (j+1)*a - 1
+	if hi > level {
+		hi = level
+	}
+	return lo, hi
+}
+
+// modUpExtender returns the BasisExtender converting group j's primes to the
+// rest of the active basis (other q primes + all special primes), caching by
+// (group, level).
+func (ctx *Context) modUpExtender(j, level int) *ring.BasisExtender {
+	key := [2]int{j, level}
+	if be, ok := ctx.modUpCache[key]; ok {
+		return be
+	}
+	lo, hi := ctx.groupRange(j, level)
+	var from, to []*ring.Modulus
+	from = append(from, ctx.RingQ.Moduli[lo:hi+1]...)
+	for i := 0; i <= level; i++ {
+		if i < lo || i > hi {
+			to = append(to, ctx.RingQ.Moduli[i])
+		}
+	}
+	to = append(to, ctx.RingP.Moduli...)
+	be, err := ring.NewBasisExtender(from, to)
+	if err != nil {
+		panic(fmt.Sprintf("ckks: modUpExtender(%d,%d): %v", j, level, err))
+	}
+	ctx.modUpCache[key] = be
+	return be
+}
+
+// modDownExtender returns the BasisExtender converting the special basis P to
+// the active q-basis at the given level, cached per level.
+func (ctx *Context) modDownExtender(level int) *ring.BasisExtender {
+	if be, ok := ctx.modDownCache[level]; ok {
+		return be
+	}
+	be, err := ring.NewBasisExtender(ctx.RingP.Moduli, ctx.RingQ.Moduli[:level+1])
+	if err != nil {
+		panic(fmt.Sprintf("ckks: modDownExtender(%d): %v", level, err))
+	}
+	ctx.modDownCache[level] = be
+	return be
+}

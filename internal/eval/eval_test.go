@@ -1,0 +1,240 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"bts/internal/workload"
+)
+
+func TestTable1BTSWins(t *testing.T) {
+	rows := Table1()
+	var bts, best float64
+	for _, r := range rows {
+		if strings.HasPrefix(r.Platform, "BTS") {
+			bts = r.MultPerSec
+		} else if r.MultPerSec > best {
+			best = r.MultPerSec
+		}
+	}
+	// The paper reports 20M mult/s vs 0.1-1M for the best prior work; our
+	// simulated BTS lands at ~13M (Tmult ≈ 79 ns at 512 MB), still about
+	// an order of magnitude beyond the 100x GPU.
+	if bts < 10e6 {
+		t.Fatalf("BTS throughput %.3g below 10M mult/s", bts)
+	}
+	if bts < 5*best {
+		t.Fatalf("BTS (%.3g) not ≥5× the best baseline (%.3g)", bts, best)
+	}
+}
+
+func TestFig2ShapeHolds(t *testing.T) {
+	rows := Fig2()
+	// The paper's key observation: around λ=128, N=2^17 beats N=2^16 by
+	// ~3.8× and N=2^18 adds only ~1.3×.
+	best := map[int]float64{}
+	for _, r := range rows {
+		if !r.Feasible || r.Lambda < 125 || r.Lambda > 145 {
+			continue
+		}
+		if v, ok := best[r.LogN]; !ok || r.TmultASlotNs < v {
+			best[r.LogN] = r.TmultASlotNs
+		}
+	}
+	if best[16] <= best[17] {
+		t.Fatalf("N=2^17 (%.1f ns) must beat N=2^16 (%.1f ns)", best[17], best[16])
+	}
+	gain1617 := best[16] / best[17]
+	if gain1617 < 2 {
+		t.Fatalf("2^16→2^17 gain %.2fx, paper reports ≈3.8x", gain1617)
+	}
+	gain1718 := best[17] / best[18]
+	if gain1718 > gain1617 {
+		t.Fatalf("gain must saturate after 2^17: %.2f vs %.2f", gain1718, gain1617)
+	}
+}
+
+func TestFig3bBConvTrend(t *testing.T) {
+	rows := Fig3b()
+	// BConv share grows as dnum shrinks: ~34% at dnum=1, ~12% at max.
+	first, last := rows[0], rows[len(rows)-1]
+	if first.Dnum != 1 {
+		t.Fatalf("first row dnum=%d want 1", first.Dnum)
+	}
+	if first.BConvPct <= last.BConvPct {
+		t.Fatalf("BConv share must shrink with dnum: %.1f%% vs %.1f%%", first.BConvPct, last.BConvPct)
+	}
+	// Our accounting charges every BConv MAC to BConv, which yields a
+	// higher absolute share than the paper's Fig. 3b (34% at dnum=1); the
+	// monotone trend is the reproduced claim (see EXPERIMENTS.md).
+	if first.BConvPct < 25 || first.BConvPct > 65 {
+		t.Fatalf("BConv at dnum=1 is %.1f%%, outside [25,65]", first.BConvPct)
+	}
+	if last.BConvPct > 30 {
+		t.Fatalf("BConv at dnum=max is %.1f%%, should fall below 30%%", last.BConvPct)
+	}
+	for _, r := range rows {
+		sum := r.BConvPct + r.NTTPct + r.INTTPct + r.OthersPct
+		if math.Abs(sum-100) > 0.01 {
+			t.Fatalf("breakdown sums to %.2f%%", sum)
+		}
+	}
+}
+
+func TestFig6SpeedupBand(t *testing.T) {
+	rows := Fig6()
+	var bestBTS float64 = math.Inf(1)
+	for _, r := range rows {
+		if strings.HasPrefix(r.System, "BTS") && r.TmultASlotNs < bestBTS {
+			bestBTS = r.TmultASlotNs
+		}
+	}
+	// Paper: 45.5 ns best (2,237× over Lattigo). Accept the right order of
+	// magnitude: tens of ns, ≥ 1000× speedup.
+	if bestBTS < 15 || bestBTS > 90 {
+		t.Fatalf("best BTS Tmult %.1f ns outside [15,90]", bestBTS)
+	}
+	cpu := rows[0].TmultASlotNs
+	if cpu/bestBTS < 1000 {
+		t.Fatalf("speedup vs CPU %.0fx below 1000x", cpu/bestBTS)
+	}
+}
+
+func TestFig7aOrdering(t *testing.T) {
+	rows := Fig7a()
+	for _, r := range rows {
+		if r.MinBoundNs > r.With2GNs || r.With2GNs > r.With512MNs {
+			t.Fatalf("%s: expected min ≤ 2GB ≤ 512MB, got %.1f / %.1f / %.1f",
+				r.Instance, r.MinBoundNs, r.With2GNs, r.With512MNs)
+		}
+	}
+	// INS-2 is the best instance at 2 GB (paper Fig. 7a).
+	if !(rows[1].With2GNs < rows[0].With2GNs && rows[1].With2GNs < rows[2].With2GNs) {
+		t.Fatalf("INS-2 must be fastest at 2GB: %v", rows)
+	}
+}
+
+func TestFig7bBootstrappingDominatesAmortized(t *testing.T) {
+	rows := Fig7b()
+	byApp := map[string]float64{}
+	for _, r := range rows {
+		byApp[r.App] = r.BootstrapPct
+	}
+	if byApp["amortized-mult"] < 70 {
+		t.Fatalf("bootstrapping share of the microbenchmark %.1f%% too low", byApp["amortized-mult"])
+	}
+	if byApp["ResNet-20"] >= byApp["amortized-mult"] {
+		t.Fatal("ResNet must have a lower bootstrap share than the microbenchmark")
+	}
+}
+
+func TestFig8MemoryBound(t *testing.T) {
+	res := Fig8()
+	if res.TotalUs < 100 || res.TotalUs > 140 {
+		t.Fatalf("HMult latency %.1f µs outside [100,140] (paper ≈128)", res.TotalUs)
+	}
+	if res.HBMUtilPct < 95 {
+		t.Fatalf("HBM %.0f%% — HMult must be memory-bound (paper 98%%)", res.HBMUtilPct)
+	}
+	if res.NTTUUtilPct < 60 || res.NTTUUtilPct > 90 {
+		t.Fatalf("NTTU %.0f%% outside [60,90] (paper 76%%)", res.NTTUUtilPct)
+	}
+}
+
+func TestFig9Monotone(t *testing.T) {
+	rows := Fig9()
+	if len(rows) != 5 {
+		t.Fatalf("expected 5 ablation steps, got %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Speedup < rows[i-1].Speedup*0.999 {
+			t.Fatalf("ablation speedups not monotone: %s %.0fx after %.0fx",
+				rows[i].Config, rows[i].Speedup, rows[i-1].Speedup)
+		}
+	}
+	if rows[4].Speedup < 1000 {
+		t.Fatalf("final configuration only %.0fx over Lattigo", rows[4].Speedup)
+	}
+}
+
+func TestFig10EDAPImprovesThenSaturates(t *testing.T) {
+	rows := Fig10()
+	if rows[0].ScratchpadMB != 192 || rows[len(rows)-1].ScratchpadMB != 1024 {
+		t.Fatalf("sweep range wrong: %d..%d", rows[0].ScratchpadMB, rows[len(rows)-1].ScratchpadMB)
+	}
+	if rows[0].BootstrapMs < rows[len(rows)-1].BootstrapMs {
+		t.Fatal("bootstrapping must get faster with more scratchpad")
+	}
+	// Saturation: the last two points differ by < 5%.
+	a, b := rows[len(rows)-2].BootstrapMs, rows[len(rows)-1].BootstrapMs
+	if math.Abs(a-b)/b > 0.05 {
+		t.Fatalf("no saturation at 1GB: %.2f vs %.2f ms", a, b)
+	}
+}
+
+func TestTable5BTSBeatsAll(t *testing.T) {
+	rows := Table5()
+	var bestBase, bestBTS float64 = math.Inf(1), math.Inf(1)
+	for _, r := range rows {
+		if strings.HasPrefix(r.System, "BTS") {
+			if r.MsPerIter < bestBTS {
+				bestBTS = r.MsPerIter
+			}
+		} else if r.MsPerIter < bestBase {
+			bestBase = r.MsPerIter
+		}
+	}
+	if bestBTS >= bestBase {
+		t.Fatalf("BTS HELR %.1f ms/iter not better than best baseline %.1f", bestBTS, bestBase)
+	}
+}
+
+func TestTable6OrderingAndBand(t *testing.T) {
+	rows := Table6()
+	var resnet []Table6Row
+	for _, r := range rows {
+		if r.App == "ResNet-20" && strings.HasPrefix(r.System, "BTS") {
+			resnet = append(resnet, r)
+		}
+	}
+	if len(resnet) != 3 {
+		t.Fatalf("expected 3 BTS ResNet rows, got %d", len(resnet))
+	}
+	// Paper: INS-1 fastest at 1.91 s with thousands-fold speedup.
+	if resnet[0].Seconds > resnet[1].Seconds || resnet[0].Seconds > resnet[2].Seconds {
+		t.Fatal("INS-1 must be the fastest ResNet instance")
+	}
+	if resnet[0].Seconds < 1 || resnet[0].Seconds > 4 {
+		t.Fatalf("ResNet INS-1 %.2f s outside [1,4] (paper 1.91)", resnet[0].Seconds)
+	}
+	if resnet[0].Speedup < 1000 {
+		t.Fatalf("ResNet speedup %.0fx below 1000x", resnet[0].Speedup)
+	}
+}
+
+func TestSlowdownVsPlain(t *testing.T) {
+	rows := SlowdownVsPlain()
+	for _, r := range rows {
+		// Paper reports 141× (HELR) and 440× (ResNet); accept the band
+		// [50, 2000] — FHE remains orders of magnitude slower than plain.
+		if r.Slowdown < 50 || r.Slowdown > 2000 {
+			t.Fatalf("%s slowdown %.0fx outside [50,2000]", r.App, r.Slowdown)
+		}
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	out := FormatTable([]string{"a", "bb"}, [][]string{{"1", "2"}, {"333", "4"}})
+	if !strings.Contains(out, "333") || !strings.Contains(out, "--") {
+		t.Fatalf("bad table output:\n%s", out)
+	}
+}
+
+func TestFig10UsesAllKinds(t *testing.T) {
+	rows := Fig10()
+	per := rows[0].PerKindMs
+	if per[workload.HMult] <= 0 || per[workload.PMult] <= 0 || per[workload.HRot] <= 0 {
+		t.Fatalf("missing op kinds in breakdown: %v", per)
+	}
+}

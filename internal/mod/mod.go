@@ -1,0 +1,163 @@
+// Package mod implements 64-bit modular arithmetic for word-sized NTT-friendly
+// primes, the scalar substrate of the Full-RNS CKKS scheme accelerated by BTS.
+//
+// All moduli handled by this package are odd primes q < 2^62, which leaves
+// enough headroom for the lazy reductions used by the Barrett and Shoup
+// multiplication routines. The package also provides deterministic 64-bit
+// primality testing and generation of NTT-friendly primes (q ≡ 1 mod 2N).
+package mod
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MaxModulusBits is the largest supported modulus width. Keeping q < 2^62
+// guarantees that 3q fits in a 64-bit word, which the Barrett reduction
+// below relies on.
+const MaxModulusBits = 62
+
+// Add returns a+b mod q. Inputs must already be reduced.
+func Add(a, b, q uint64) uint64 {
+	s := a + b
+	if s >= q {
+		s -= q
+	}
+	return s
+}
+
+// Sub returns a-b mod q. Inputs must already be reduced.
+func Sub(a, b, q uint64) uint64 {
+	if a >= b {
+		return a - b
+	}
+	return q - b + a
+}
+
+// Neg returns -a mod q. The input must already be reduced.
+func Neg(a, q uint64) uint64 {
+	if a == 0 {
+		return 0
+	}
+	return q - a
+}
+
+// Mul returns a*b mod q using a 128-bit product and hardware division.
+// It is the slow, always-correct fallback; hot paths use Barrett or Shoup.
+func Mul(a, b, q uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, rem := bits.Div64(hi%q, lo, q)
+	return rem
+}
+
+// Barrett holds the precomputed constant floor(2^128/q) used for fast
+// modular multiplication with a fixed modulus.
+type Barrett struct {
+	Q  uint64
+	mu [2]uint64 // mu[0]*2^64 + mu[1] = floor(2^128 / q), hi word first
+}
+
+// NewBarrett precomputes the Barrett constant for q. It panics if q is 0 or
+// wider than MaxModulusBits, which would void the reduction's error bound.
+func NewBarrett(q uint64) Barrett {
+	if q == 0 || bits.Len64(q) > MaxModulusBits {
+		panic(fmt.Sprintf("mod: modulus %d outside supported range (0, 2^%d)", q, MaxModulusBits))
+	}
+	// Compute floor(2^128 / q) with schoolbook long division on the
+	// 128-bit value 2^128-1 (the -1 never changes the quotient because q>1
+	// never divides 2^128 exactly for odd q... it does change it for q=1,
+	// which is excluded).
+	hi := ^uint64(0) / q
+	rem := ^uint64(0) % q
+	// Now divide (rem+1)*2^64 by q for the low word.
+	r := rem + 1
+	var lo uint64
+	if r == q { // (2^64-1 mod q)+1 == q means q | 2^64*... handle carry
+		lo = 0
+		hi++
+	} else {
+		lo, _ = bits.Div64(r%q, 0, q)
+	}
+	return Barrett{Q: q, mu: [2]uint64{hi, lo}}
+}
+
+// Mul returns a*b mod q via Barrett reduction. Inputs must be < q.
+func (br Barrett) Mul(a, b uint64) uint64 {
+	ahi, alo := bits.Mul64(a, b)
+	return br.Reduce128(ahi, alo)
+}
+
+// Reduce128 reduces the 128-bit value ahi*2^64+alo modulo q. The value must
+// be < q^2 (always true for products of reduced operands).
+func (br Barrett) Reduce128(ahi, alo uint64) uint64 {
+	// qhat = floor(a*mu / 2^128), computed discarding the lowest partial
+	// product's low word; the truncation undershoots floor(a/q) by at most
+	// two, hence the two conditional subtractions at the end.
+	c0, _ := bits.Mul64(alo, br.mu[1])
+	t1hi, t1lo := bits.Mul64(ahi, br.mu[1])
+	t2hi, t2lo := bits.Mul64(alo, br.mu[0])
+	s, c1 := bits.Add64(t1lo, t2lo, 0)
+	_, c2 := bits.Add64(s, c0, 0)
+	qhat := ahi*br.mu[0] + t1hi + t2hi + c1 + c2
+	r := alo - qhat*br.Q
+	if r >= br.Q {
+		r -= br.Q
+	}
+	if r >= br.Q {
+		r -= br.Q
+	}
+	return r
+}
+
+// Reduce returns a mod q for a full 64-bit a.
+func (br Barrett) Reduce(a uint64) uint64 {
+	return br.Reduce128(0, a)
+}
+
+// ShoupPrecomp returns floor(w * 2^64 / q), the Shoup constant attached to a
+// fixed multiplicand w (e.g. an NTT twiddle factor).
+func ShoupPrecomp(w, q uint64) uint64 {
+	hi, _ := bits.Div64(w%q, 0, q)
+	return hi
+}
+
+// MulShoup returns x*w mod q where wShoup = ShoupPrecomp(w, q).
+// x must be < q; w must be < q. This is the fastest multiplication available
+// and is used for all twiddle-factor products inside the NTT.
+func MulShoup(x, w, wShoup, q uint64) uint64 {
+	hi, _ := bits.Mul64(x, wShoup)
+	r := x*w - hi*q
+	if r >= q {
+		r -= q
+	}
+	return r
+}
+
+// Pow returns a^e mod q by square-and-multiply.
+func Pow(a, e, q uint64) uint64 {
+	br := NewBarrett(q)
+	return br.Pow(a, e)
+}
+
+// Pow returns a^e mod q using the receiver's precomputed constant.
+func (br Barrett) Pow(a, e uint64) uint64 {
+	result := uint64(1)
+	base := a % br.Q
+	for e > 0 {
+		if e&1 == 1 {
+			result = br.Mul(result, base)
+		}
+		base = br.Mul(base, base)
+		e >>= 1
+	}
+	return result
+}
+
+// Inv returns a^-1 mod q for prime q, via Fermat's little theorem.
+// It panics if a ≡ 0 mod q, which has no inverse.
+func Inv(a, q uint64) uint64 {
+	if a%q == 0 {
+		panic("mod: zero has no modular inverse")
+	}
+	return Pow(a, q-2, q)
+}

@@ -1,0 +1,114 @@
+package mod
+
+import "fmt"
+
+// millerRabinBases is a base set proven sufficient for deterministic
+// primality testing of all integers below 3.3 * 10^24, which covers uint64.
+var millerRabinBases = [...]uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}
+
+// IsPrime reports whether n is prime, deterministically for all uint64 n.
+func IsPrime(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	for _, p := range millerRabinBases {
+		if n == p {
+			return true
+		}
+		if n%p == 0 {
+			return false
+		}
+	}
+	// Write n-1 = d * 2^s with d odd.
+	d := n - 1
+	s := 0
+	for d&1 == 0 {
+		d >>= 1
+		s++
+	}
+	for _, a := range millerRabinBases {
+		x := powSlow(a, d, n)
+		if x == 1 || x == n-1 {
+			continue
+		}
+		composite := true
+		for i := 0; i < s-1; i++ {
+			x = Mul(x, x, n)
+			if x == n-1 {
+				composite = false
+				break
+			}
+		}
+		if composite {
+			return false
+		}
+	}
+	return true
+}
+
+// powSlow is a division-based modular exponentiation valid for any modulus,
+// used only by the primality test where q may exceed MaxModulusBits.
+func powSlow(a, e, q uint64) uint64 {
+	result := uint64(1)
+	base := a % q
+	for e > 0 {
+		if e&1 == 1 {
+			result = Mul(result, base, q)
+		}
+		base = Mul(base, base, q)
+		e >>= 1
+	}
+	return result
+}
+
+// GenerateNTTPrimes returns count distinct primes q ≡ 1 (mod 2N), N = 2^logN,
+// as close to 2^logQ as possible, alternating above and below 2^logQ so that
+// products of consecutive primes stay near 2^(k·logQ). This mirrors the
+// prime-selection strategy of RNS-CKKS libraries, which keeps the
+// rescaling-induced scale drift small (the paper sizes moduli 2^40..2^60).
+func GenerateNTTPrimes(logQ, logN, count int) ([]uint64, error) {
+	if logQ < logN+2 || logQ > MaxModulusBits-1 {
+		return nil, fmt.Errorf("mod: logQ=%d outside supported range [logN+2,%d]", logQ, MaxModulusBits-1)
+	}
+	twoN := uint64(1) << (logN + 1)
+	center := uint64(1) << logQ
+	lo := center - (center-1)%twoN // largest candidate ≡ 1 mod 2N, ≤ center
+	hi := lo + twoN                // smallest candidate above center
+	primes := make([]uint64, 0, count)
+	for len(primes) < count {
+		var cand uint64
+		if lo < twoN || hi-center < center-lo {
+			cand, hi = hi, hi+twoN
+		} else {
+			cand, lo = lo, lo-twoN
+		}
+		if IsPrime(cand) {
+			primes = append(primes, cand)
+		}
+		if hi >= 1<<MaxModulusBits && lo < twoN {
+			return nil, fmt.Errorf("mod: exhausted candidates around 2^%d for 2N=%d", logQ, twoN)
+		}
+	}
+	return primes, nil
+}
+
+// PrimitiveRootOfUnity returns a primitive 2N-th root of unity ψ modulo the
+// prime q, with N = 2^logN. It requires q ≡ 1 (mod 2N). Because 2N is a
+// power of two, ψ has order exactly 2N iff ψ^N = -1 (mod q), so candidates
+// x^((q-1)/2N) need only that single check.
+func PrimitiveRootOfUnity(q uint64, logN int) (uint64, error) {
+	twoN := uint64(1) << (logN + 1)
+	if (q-1)%twoN != 0 {
+		return 0, fmt.Errorf("mod: q=%d is not ≡ 1 mod 2N=%d", q, twoN)
+	}
+	br := NewBarrett(q)
+	exp := (q - 1) / twoN
+	n := uint64(1) << logN
+	for x := uint64(2); x < q; x++ {
+		psi := br.Pow(x, exp)
+		if br.Pow(psi, n) == q-1 { // ψ^N == -1 mod q
+			return psi, nil
+		}
+	}
+	return 0, fmt.Errorf("mod: no primitive 2N-th root of unity found for q=%d", q)
+}

@@ -1,0 +1,148 @@
+package params
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperInstancesLogPQ(t *testing.T) {
+	// The modulus model must reproduce Table 4's log PQ exactly.
+	want := map[string]float64{"INS-1": 3090, "INS-2": 3210, "INS-3": 3160}
+	for _, in := range PaperInstances() {
+		if got := in.LogPQ(); got != want[in.Name] {
+			t.Fatalf("%s: LogPQ=%v want %v", in.Name, got, want[in.Name])
+		}
+		if err := in.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPaperInstancesSecurity(t *testing.T) {
+	// Table 4 λ: 133.4 / 128.7 / 130.8 (the fit must land within 0.5 bits).
+	want := [3]float64{133.4, 128.7, 130.8}
+	for i, in := range PaperInstances() {
+		if got := in.Lambda(); math.Abs(got-want[i]) > 0.5 {
+			t.Fatalf("%s: λ=%.2f want %.1f±0.5", in.Name, got, want[i])
+		}
+	}
+}
+
+func TestKAndBeta(t *testing.T) {
+	if k := INS1.K(); k != 28 {
+		t.Fatalf("INS-1 k=%d want 28", k)
+	}
+	if k := INS2.K(); k != 20 {
+		t.Fatalf("INS-2 k=%d want 20", k)
+	}
+	if k := INS3.K(); k != 15 {
+		t.Fatalf("INS-3 k=%d want 15", k)
+	}
+	if b := INS2.Beta(INS2.L); b != 2 {
+		t.Fatalf("INS-2 Beta(L)=%d want 2", b)
+	}
+	if b := INS2.Beta(5); b != 1 {
+		t.Fatalf("INS-2 Beta(5)=%d want 1", b)
+	}
+}
+
+func TestEvkSizeMatchesPaper(t *testing.T) {
+	// Section 3.4: at INS-1, a ct at max level is 56 MB and an evk 112 MB.
+	if got := INS1.CtBytes(INS1.L) >> 20; got != 56 {
+		t.Fatalf("INS-1 ct = %d MiB, want 56", got)
+	}
+	if got := INS1.EvkBytesMax() >> 20; got != 112 {
+		t.Fatalf("INS-1 evk = %d MiB, want 112", got)
+	}
+}
+
+func TestTempDataNearTable4(t *testing.T) {
+	// Table 4 reports 183/304/365 MB; the calibrated model must land
+	// within 10%.
+	want := [3]float64{183, 304, 365}
+	for i, in := range PaperInstances() {
+		got := float64(in.TempDataBytes()) / (1 << 20)
+		if math.Abs(got-want[i])/want[i] > 0.10 {
+			t.Fatalf("%s: temp data %.0f MB, want %.0f±10%%", in.Name, got, want[i])
+		}
+	}
+}
+
+func TestMaxDnumTable(t *testing.T) {
+	// Fig. 1's inset: N=2^15..2^18 → max dnum 14, 29, 60, ~121.
+	cases := map[int]int{15: 14, 16: 29, 17: 60}
+	for logN, want := range cases {
+		if got := MaxDnum(logN); got != want {
+			t.Fatalf("MaxDnum(%d)=%d want %d", logN, got, want)
+		}
+	}
+	// 2^18 is within ±1 of the published 121.
+	if got := MaxDnum(18); got < 120 || got > 123 {
+		t.Fatalf("MaxDnum(18)=%d want 121±2", got)
+	}
+}
+
+func TestMaxLevelMonotoneInDnum(t *testing.T) {
+	// Fig. 1a: L is non-decreasing in dnum at fixed N and security.
+	f := func(seed uint8) bool {
+		logN := 15 + int(seed)%4
+		prev := 0
+		for d := 1; d <= MaxDnum(logN); d++ {
+			l := MaxLevelForDnum(logN, d)
+			if l < prev {
+				return false
+			}
+			prev = l
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSecurityMonotone(t *testing.T) {
+	// λ decreases with log PQ and increases with N (Section 3.2).
+	if SecurityLevel(17, 3000) <= SecurityLevel(17, 3500) {
+		t.Fatal("λ must decrease with logPQ")
+	}
+	if SecurityLevel(18, 3000) <= SecurityLevel(17, 3000) {
+		t.Fatal("λ must increase with N")
+	}
+}
+
+func TestFig1Rows(t *testing.T) {
+	rows := LevelsAndEvkVsDnum(17)
+	if len(rows) < 10 {
+		t.Fatalf("expected a dense dnum sweep, got %d rows", len(rows))
+	}
+	// dnum=1 at N=2^17 supports L=27 (INS-1's level).
+	if rows[0].Dnum != 1 || rows[0].MaxLevel != 27 {
+		t.Fatalf("first row = %+v, want dnum=1 L=27", rows[0])
+	}
+	// Aggregate evk size grows with dnum.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].EvkAggBytes < rows[i-1].EvkAggBytes {
+			t.Fatalf("aggregate evk size not monotone at dnum=%d", rows[i].Dnum)
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := INS1
+	bad.Dnum = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Dnum=0 must fail")
+	}
+	bad = INS1
+	bad.LogN = 5
+	if err := bad.Validate(); err == nil {
+		t.Fatal("LogN=5 must fail")
+	}
+	bad = INS1
+	bad.LogP = 10
+	if err := bad.Validate(); err == nil {
+		t.Fatal("LogP<LogQi must fail")
+	}
+}

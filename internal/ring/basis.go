@@ -1,0 +1,147 @@
+package ring
+
+import (
+	"fmt"
+	"math/big"
+
+	"bts/internal/mod"
+)
+
+// BasisExtender implements the fast RNS base conversion BConv (Eq. 9 of the
+// paper): given the residues of x over a source base {q_j}, it produces the
+// residues over a target base {p_i} of a value congruent to x plus a small
+// multiple of Q (the classic approximate conversion, whose overflow is
+// absorbed by key-switching noise).
+//
+// The first stage multiplies each source residue by (Q/q_j)^-1 mod q_j (the
+// BConvU's ModMult in Section 5.2); the second stage is the coefficient-wise
+// multiply-accumulate Σ_j [..]·(Q/q_j) mod p_i (the MMAU).
+type BasisExtender struct {
+	from, to []*Modulus
+
+	qhatInv      []uint64   // [(Q/q_j)^-1]_{q_j}
+	qhatInvShoup []uint64   // Shoup companions for the first stage
+	qhatTo       [][]uint64 // qhatTo[j][i] = [Q/q_j] mod to[i].Q
+}
+
+// NewBasisExtender precomputes the conversion tables from the source to the
+// target base. The bases must be disjoint prime sets.
+func NewBasisExtender(from, to []*Modulus) (*BasisExtender, error) {
+	if len(from) == 0 || len(to) == 0 {
+		return nil, fmt.Errorf("ring: empty basis in BasisExtender")
+	}
+	seen := map[uint64]bool{}
+	for _, m := range from {
+		seen[m.Q] = true
+	}
+	for _, m := range to {
+		if seen[m.Q] {
+			return nil, fmt.Errorf("ring: bases overlap at modulus %d", m.Q)
+		}
+	}
+	q := big.NewInt(1)
+	for _, m := range from {
+		q.Mul(q, new(big.Int).SetUint64(m.Q))
+	}
+	be := &BasisExtender{
+		from:         from,
+		to:           to,
+		qhatInv:      make([]uint64, len(from)),
+		qhatInvShoup: make([]uint64, len(from)),
+		qhatTo:       make([][]uint64, len(from)),
+	}
+	tmp := new(big.Int)
+	for j, m := range from {
+		qj := new(big.Int).SetUint64(m.Q)
+		qhat := new(big.Int).Quo(q, qj)
+		inv := new(big.Int).ModInverse(tmp.Mod(qhat, qj), qj)
+		be.qhatInv[j] = inv.Uint64()
+		be.qhatInvShoup[j] = mod.ShoupPrecomp(be.qhatInv[j], m.Q)
+		be.qhatTo[j] = make([]uint64, len(to))
+		for i, mt := range to {
+			be.qhatTo[j][i] = tmp.Mod(qhat, new(big.Int).SetUint64(mt.Q)).Uint64()
+		}
+	}
+	return be, nil
+}
+
+// Convert performs the base conversion on coefficient-domain rows. in must
+// hold len(from) rows; out receives len(to) rows. Rows are length-N slices.
+func (be *BasisExtender) Convert(in, out [][]uint64) {
+	nf, nt := len(be.from), len(be.to)
+	if len(in) < nf || len(out) < nt {
+		panic("ring: BasisExtender.Convert: row count mismatch")
+	}
+	n := len(in[0])
+	// Stage 1: y_j = [x_j * (Q/q_j)^-1]_{q_j}.
+	stage1 := make([][]uint64, nf)
+	for j := 0; j < nf; j++ {
+		q := be.from[j].Q
+		w, ws := be.qhatInv[j], be.qhatInvShoup[j]
+		row := make([]uint64, n)
+		src := in[j]
+		for k := 0; k < n; k++ {
+			row[k] = mod.MulShoup(src[k], w, ws, q)
+		}
+		stage1[j] = row
+	}
+	// Stage 2: out_i = Σ_j y_j * [Q/q_j]_{p_i} (coefficient-wise MAC).
+	for i := 0; i < nt; i++ {
+		br := be.to[i].BRed
+		qi := be.to[i].Q
+		dst := out[i]
+		first := be.qhatTo[0][i]
+		src := stage1[0]
+		for k := 0; k < n; k++ {
+			dst[k] = br.Mul(src[k], first)
+		}
+		for j := 1; j < nf; j++ {
+			w := be.qhatTo[j][i]
+			src := stage1[j]
+			for k := 0; k < n; k++ {
+				dst[k] = mod.Add(dst[k], br.Mul(src[k], w), qi)
+			}
+		}
+	}
+}
+
+// DivRoundByLastModulusNTT divides p (rows [0..level], NTT domain) by the
+// last prime q_level with rounding and drops that row: the HRescale
+// operation of Section 2.4. On return, rows [0..level-1] hold the rescaled
+// polynomial in the NTT domain.
+func (r *Ring) DivRoundByLastModulusNTT(p *Poly, level int) {
+	if level == 0 {
+		panic("ring: cannot rescale below level 0")
+	}
+	mL := r.Moduli[level]
+	qL := mL.Q
+	half := qL >> 1
+
+	// Bring the dropped residue to the coefficient domain.
+	last := make([]uint64, r.N)
+	copy(last, p.Coeffs[level])
+	r.inttRow(last, mL)
+
+	// Pre-add q_L/2 so the subsequent per-prime reduction realizes a
+	// centered (rounding) lift rather than a floor.
+	for j := range last {
+		last[j] = mod.Add(last[j], half, qL)
+	}
+
+	tmp := make([]uint64, r.N)
+	for i := 0; i < level; i++ {
+		mi := r.Moduli[i]
+		qi := mi.Q
+		halfModQi := mi.BRed.Reduce(half)
+		qInv := mod.Inv(qL%qi, qi)
+		qInvShoup := mod.ShoupPrecomp(qInv, qi)
+		for j := 0; j < r.N; j++ {
+			tmp[j] = mod.Sub(mi.BRed.Reduce(last[j]), halfModQi, qi)
+		}
+		r.nttRow(tmp, mi)
+		row := p.Coeffs[i]
+		for j := 0; j < r.N; j++ {
+			row[j] = mod.MulShoup(mod.Sub(row[j], tmp[j], qi), qInv, qInvShoup, qi)
+		}
+	}
+}

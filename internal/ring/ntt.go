@@ -1,0 +1,83 @@
+package ring
+
+import "bts/internal/mod"
+
+// NTT transforms rows [0..level] of p in place from coefficient domain to the
+// NTT (evaluation) domain. The transform is the negacyclic number-theoretic
+// transform: polynomial multiplication in R_q becomes element-wise
+// multiplication of transformed rows (Section 4.1 of the paper).
+//
+// The implementation is the standard in-place Cooley–Tukey decimation-in-time
+// network with twiddle factors stored in bit-reversed order, i.e. the exact
+// butterfly the paper's NTTU executes (Butterfly_NTT: X' = X+W·Y, Y' = X-W·Y).
+func (r *Ring) NTT(p *Poly, level int) {
+	for i := 0; i <= level; i++ {
+		r.nttRow(p.Coeffs[i], r.Moduli[i])
+	}
+}
+
+// INTT transforms rows [0..level] of p in place from the NTT domain back to
+// the coefficient domain (Butterfly_iNTT: X' = X+Y, Y' = (X-Y)·W^-1, followed
+// by scaling with N^-1).
+func (r *Ring) INTT(p *Poly, level int) {
+	for i := 0; i <= level; i++ {
+		r.inttRow(p.Coeffs[i], r.Moduli[i])
+	}
+}
+
+// NTTRow transforms a single residue polynomial at prime index i.
+func (r *Ring) NTTRow(row []uint64, i int) { r.nttRow(row, r.Moduli[i]) }
+
+// INTTRow inverse-transforms a single residue polynomial at prime index i.
+func (r *Ring) INTTRow(row []uint64, i int) { r.inttRow(row, r.Moduli[i]) }
+
+func (r *Ring) nttRow(a []uint64, m *Modulus) {
+	n := r.N
+	q := m.Q
+	t := n
+	for mLen := 1; mLen < n; mLen <<= 1 {
+		t >>= 1
+		for i := 0; i < mLen; i++ {
+			w := m.psiRev[mLen+i]
+			ws := m.psiRevShoup[mLen+i]
+			j1 := 2 * i * t
+			for j := j1; j < j1+t; j++ {
+				u := a[j]
+				v := mod.MulShoup(a[j+t], w, ws, q)
+				a[j] = mod.Add(u, v, q)
+				a[j+t] = mod.Sub(u, v, q)
+			}
+		}
+	}
+}
+
+func (r *Ring) inttRow(a []uint64, m *Modulus) {
+	n := r.N
+	q := m.Q
+	t := 1
+	for mLen := n; mLen > 1; mLen >>= 1 {
+		j1 := 0
+		h := mLen >> 1
+		for i := 0; i < h; i++ {
+			w := m.psiInvRev[h+i]
+			ws := m.psiInvRevShoup[h+i]
+			for j := j1; j < j1+t; j++ {
+				u := a[j]
+				v := a[j+t]
+				a[j] = mod.Add(u, v, q)
+				a[j+t] = mod.MulShoup(mod.Sub(u, v, q), w, ws, q)
+			}
+			j1 += 2 * t
+		}
+		t <<= 1
+	}
+	for j := 0; j < n; j++ {
+		a[j] = mod.MulShoup(a[j], m.NInv, m.nInvShoup, q)
+	}
+}
+
+// evalOrderExponent returns e(i) such that, after r.NTT, row index i holds the
+// evaluation of the polynomial at ψ^e(i). For the Cooley–Tukey network above,
+// e(i) = 2·brv(i)+1 (the odd powers of ψ in bit-reversed order). Automorphism
+// permutation tables (Section 5.5) are derived from this indexing.
+func (r *Ring) evalOrderExponent(i int) int { return 2*r.brv[i] + 1 }

@@ -1,0 +1,267 @@
+package ring
+
+import (
+	"math"
+	"math/rand"
+
+	"bts/internal/mod"
+)
+
+// Add sets out = a + b element-wise on rows [0..level].
+func (r *Ring) Add(a, b, out *Poly, level int) {
+	for i := 0; i <= level; i++ {
+		q := r.Moduli[i].Q
+		ra, rb, ro := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
+		for j := 0; j < r.N; j++ {
+			ro[j] = mod.Add(ra[j], rb[j], q)
+		}
+	}
+}
+
+// Sub sets out = a - b element-wise on rows [0..level].
+func (r *Ring) Sub(a, b, out *Poly, level int) {
+	for i := 0; i <= level; i++ {
+		q := r.Moduli[i].Q
+		ra, rb, ro := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
+		for j := 0; j < r.N; j++ {
+			ro[j] = mod.Sub(ra[j], rb[j], q)
+		}
+	}
+}
+
+// Neg sets out = -a element-wise on rows [0..level].
+func (r *Ring) Neg(a, out *Poly, level int) {
+	for i := 0; i <= level; i++ {
+		q := r.Moduli[i].Q
+		ra, ro := a.Coeffs[i], out.Coeffs[i]
+		for j := 0; j < r.N; j++ {
+			ro[j] = mod.Neg(ra[j], q)
+		}
+	}
+}
+
+// MulCoeffs sets out = a ⊙ b element-wise on rows [0..level]. In the NTT
+// domain this is polynomial multiplication.
+func (r *Ring) MulCoeffs(a, b, out *Poly, level int) {
+	for i := 0; i <= level; i++ {
+		br := r.Moduli[i].BRed
+		ra, rb, ro := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
+		for j := 0; j < r.N; j++ {
+			ro[j] = br.Mul(ra[j], rb[j])
+		}
+	}
+}
+
+// MulCoeffsAndAdd sets out += a ⊙ b element-wise on rows [0..level]; this is
+// the modular multiply-accumulate the paper's MMAU performs.
+func (r *Ring) MulCoeffsAndAdd(a, b, out *Poly, level int) {
+	for i := 0; i <= level; i++ {
+		br := r.Moduli[i].BRed
+		q := r.Moduli[i].Q
+		ra, rb, ro := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
+		for j := 0; j < r.N; j++ {
+			ro[j] = mod.Add(ro[j], br.Mul(ra[j], rb[j]), q)
+		}
+	}
+}
+
+// MulScalar sets out = a * s element-wise on rows [0..level] for a uint64
+// scalar s (reduced per prime).
+func (r *Ring) MulScalar(a *Poly, s uint64, out *Poly, level int) {
+	for i := 0; i <= level; i++ {
+		m := r.Moduli[i]
+		w := m.BRed.Reduce(s)
+		ws := mod.ShoupPrecomp(w, m.Q)
+		ra, ro := a.Coeffs[i], out.Coeffs[i]
+		for j := 0; j < r.N; j++ {
+			ro[j] = mod.MulShoup(ra[j], w, ws, m.Q)
+		}
+	}
+}
+
+// MulScalarBigCentered multiplies rows [0..level] by a signed scalar given as
+// int64 (used to fold plaintext constants into polynomials).
+func (r *Ring) MulScalarInt64(a *Poly, s int64, out *Poly, level int) {
+	for i := 0; i <= level; i++ {
+		m := r.Moduli[i]
+		var w uint64
+		if s >= 0 {
+			w = m.BRed.Reduce(uint64(s))
+		} else {
+			w = mod.Neg(m.BRed.Reduce(uint64(-s)), m.Q)
+		}
+		ws := mod.ShoupPrecomp(w, m.Q)
+		ra, ro := a.Coeffs[i], out.Coeffs[i]
+		for j := 0; j < r.N; j++ {
+			ro[j] = mod.MulShoup(ra[j], w, ws, m.Q)
+		}
+	}
+}
+
+// GaloisElement returns 5^r mod 2N, the automorphism exponent implementing a
+// rotation by r slots (Eq. 5 of the paper). Negative r rotates the other way.
+func (r *Ring) GaloisElement(rot int) uint64 {
+	twoN := uint64(2 * r.N)
+	mask := twoN - 1
+	g := uint64(1)
+	rot %= r.N / 2
+	if rot < 0 {
+		rot += r.N / 2
+	}
+	for i := 0; i < rot; i++ {
+		g = (g * 5) & mask
+	}
+	return g
+}
+
+// GaloisConjugate is the automorphism exponent 2N-1 implementing complex
+// conjugation of the slots.
+func (r *Ring) GaloisConjugate() uint64 { return uint64(2*r.N - 1) }
+
+// AutomorphismCoeff applies X -> X^g to rows [0..level] of p in the
+// coefficient domain: coefficient i moves to i·g mod 2N, with a sign flip
+// when the destination exponent exceeds N (since X^N = -1).
+func (r *Ring) AutomorphismCoeff(p *Poly, g uint64, out *Poly, level int) {
+	n := uint64(r.N)
+	mask := 2*n - 1
+	for i := 0; i <= level; i++ {
+		q := r.Moduli[i].Q
+		src, dst := p.Coeffs[i], out.Coeffs[i]
+		for j := uint64(0); j < n; j++ {
+			e := (j * g) & mask
+			if e < n {
+				dst[e] = src[j]
+			} else {
+				dst[e-n] = mod.Neg(src[j], q)
+			}
+		}
+	}
+}
+
+// autoIndexNTT returns (and caches) the permutation table for applying the
+// automorphism X -> X^g directly in the NTT domain. Row index i of the output
+// takes its value from row index table[i] of the input: in evaluation order,
+// σ_g(A) evaluated at ψ^e equals A evaluated at ψ^(e·g mod 2N), and no signs
+// change — which is why BTS can realize automorphism as a pure NoC
+// permutation (Section 5.5).
+func (r *Ring) autoIndexNTT(g uint64) []int {
+	if t, ok := r.autoCache[g]; ok {
+		return t
+	}
+	n := r.N
+	mask := uint64(2*n - 1)
+	table := make([]int, n)
+	for i := 0; i < n; i++ {
+		e := uint64(r.evalOrderExponent(i))
+		eg := (e * g) & mask      // odd, since e odd and g odd
+		j := int((eg - 1) / 2)    // evaluation slot with exponent eg
+		table[i] = r.brv[j&(n-1)] // back to storage order
+	}
+	r.autoCache[g] = table
+	return table
+}
+
+// AutomorphismNTT applies X -> X^g to rows [0..level] of p in the NTT domain.
+func (r *Ring) AutomorphismNTT(p *Poly, g uint64, out *Poly, level int) {
+	table := r.autoIndexNTT(g)
+	for i := 0; i <= level; i++ {
+		src, dst := p.Coeffs[i], out.Coeffs[i]
+		for j := 0; j < r.N; j++ {
+			dst[j] = src[table[j]]
+		}
+	}
+}
+
+// --- Samplers ---------------------------------------------------------------
+
+// SampleUniform fills rows [0..level] with independent uniform residues.
+func (r *Ring) SampleUniform(rng *rand.Rand, p *Poly, level int) {
+	for i := 0; i <= level; i++ {
+		q := r.Moduli[i].Q
+		row := p.Coeffs[i]
+		for j := range row {
+			row[j] = uniformUint64(rng, q)
+		}
+	}
+}
+
+// uniformUint64 draws a uniform value in [0,q) with rejection sampling.
+func uniformUint64(rng *rand.Rand, q uint64) uint64 {
+	max := ^uint64(0) - (^uint64(0) % q)
+	for {
+		v := rng.Uint64()
+		if v < max {
+			return v % q
+		}
+	}
+}
+
+// SampleTernarySparse fills coeffs with a ternary secret of exact Hamming
+// weight h (±1 entries, the rest zero), the sparse-secret distribution used
+// for bootstrappable CKKS instances, and writes it into rows [0..level].
+func (r *Ring) SampleTernarySparse(rng *rand.Rand, p *Poly, h, level int) {
+	coeffs := make([]int64, r.N)
+	for placed := 0; placed < h; {
+		idx := rng.Intn(r.N)
+		if coeffs[idx] != 0 {
+			continue
+		}
+		if rng.Intn(2) == 0 {
+			coeffs[idx] = 1
+		} else {
+			coeffs[idx] = -1
+		}
+		placed++
+	}
+	r.SetInt64Coeffs(p, coeffs, level)
+}
+
+// SampleGaussian fills rows [0..level] with a discrete Gaussian of standard
+// deviation sigma truncated at 6σ (the LWE error distribution, Section 2.2).
+func (r *Ring) SampleGaussian(rng *rand.Rand, p *Poly, sigma float64, level int) {
+	bound := 6 * sigma
+	coeffs := make([]int64, r.N)
+	for j := range coeffs {
+		for {
+			v := rng.NormFloat64() * sigma
+			if math.Abs(v) <= bound {
+				coeffs[j] = int64(math.Round(v))
+				break
+			}
+		}
+	}
+	r.SetInt64Coeffs(p, coeffs, level)
+}
+
+// MulByMonomialNTT multiplies rows [0..level] of p (NTT domain) by the
+// monomial X^k, k taken mod 2N. Because NTT row j holds the evaluation at
+// ψ^e(j), this is an exact element-wise multiplication by ψ^(e(j)·k) — no
+// level or scale cost. CKKS uses X^(N/2), which acts as multiplication by i
+// on every message slot (all slot exponents are ≡ 1 mod 4).
+func (r *Ring) MulByMonomialNTT(p *Poly, k int, out *Poly, level int) {
+	twoN := 2 * r.N
+	k %= twoN
+	if k < 0 {
+		k += twoN
+	}
+	for i := 0; i <= level; i++ {
+		m := r.Moduli[i]
+		src, dst := p.Coeffs[i], out.Coeffs[i]
+		for j := 0; j < r.N; j++ {
+			e := (r.evalOrderExponent(j) * k) % twoN
+			var w uint64
+			neg := false
+			if e < r.N {
+				w = m.psiRev[r.brv[e]]
+			} else {
+				w = m.psiRev[r.brv[e-r.N]]
+				neg = true
+			}
+			v := m.BRed.Mul(src[j], w)
+			if neg {
+				v = mod.Neg(v, m.Q)
+			}
+			dst[j] = v
+		}
+	}
+}

@@ -1,0 +1,265 @@
+// Package ring implements arithmetic in cyclotomic polynomial rings
+// R_Q = Z_Q[X]/(X^N+1) represented in the residue number system (RNS), the
+// polynomial substrate of Full-RNS CKKS (Section 2.2 of the BTS paper).
+//
+// A polynomial is stored as an N×(level+1) matrix of 64-bit residues, one row
+// per prime modulus, exactly the layout the paper's Figure 4 assumes. The
+// package provides the three access-pattern families the paper analyzes:
+// residue-polynomial-wise functions (NTT, iNTT, automorphism), coefficient-wise
+// functions (base conversion), and element-wise functions (modular add/mult).
+package ring
+
+import (
+	"fmt"
+	"math/big"
+
+	"bts/internal/mod"
+)
+
+// Modulus bundles one RNS prime with every precomputed table needed for
+// negacyclic NTT, Shoup multiplication, and Barrett reduction.
+type Modulus struct {
+	Q    uint64
+	BRed mod.Barrett
+
+	Psi    uint64 // primitive 2N-th root of unity
+	PsiInv uint64 // ψ^-1 mod q
+	NInv   uint64 // N^-1 mod q
+
+	// Twiddle tables in bit-reversed order (Longa–Naehrig layout):
+	// psiRev[i] = ψ^brv(i), psiInvRev[i] = ψ^-brv(i).
+	psiRev         []uint64
+	psiRevShoup    []uint64
+	psiInvRev      []uint64
+	psiInvRevShoup []uint64
+	nInvShoup      uint64
+}
+
+// Ring is R_Q for a fixed degree N and a chain of prime moduli. CKKS uses two
+// rings: one over the q-chain and one over the special p-chain (Section 2.5).
+type Ring struct {
+	N    int
+	LogN int
+	// Moduli is the full prime chain; operations accept a level parameter
+	// selecting the active prefix Moduli[0..level].
+	Moduli []*Modulus
+
+	brv []int // bit-reversal permutation of [0,N)
+
+	autoCache map[uint64][]int // NTT-domain automorphism index tables
+}
+
+// NewRing constructs a ring of degree N=2^logN over the given prime chain.
+// Every prime must satisfy q ≡ 1 (mod 2N) so that the negacyclic NTT exists.
+func NewRing(logN int, primes []uint64) (*Ring, error) {
+	if logN < 2 || logN > 17 {
+		return nil, fmt.Errorf("ring: logN=%d outside supported range [2,17]", logN)
+	}
+	if len(primes) == 0 {
+		return nil, fmt.Errorf("ring: empty prime chain")
+	}
+	n := 1 << logN
+	r := &Ring{
+		N:         n,
+		LogN:      logN,
+		Moduli:    make([]*Modulus, len(primes)),
+		brv:       bitReversalPermutation(logN),
+		autoCache: make(map[uint64][]int),
+	}
+	seen := make(map[uint64]bool, len(primes))
+	for i, q := range primes {
+		if seen[q] {
+			return nil, fmt.Errorf("ring: duplicate modulus %d", q)
+		}
+		seen[q] = true
+		m, err := newModulus(q, logN, r.brv)
+		if err != nil {
+			return nil, err
+		}
+		r.Moduli[i] = m
+	}
+	return r, nil
+}
+
+func newModulus(q uint64, logN int, brv []int) (*Modulus, error) {
+	if !mod.IsPrime(q) {
+		return nil, fmt.Errorf("ring: modulus %d is not prime", q)
+	}
+	psi, err := mod.PrimitiveRootOfUnity(q, logN)
+	if err != nil {
+		return nil, err
+	}
+	n := 1 << logN
+	m := &Modulus{
+		Q:      q,
+		BRed:   mod.NewBarrett(q),
+		Psi:    psi,
+		PsiInv: mod.Inv(psi, q),
+		NInv:   mod.Inv(uint64(n), q),
+	}
+	m.nInvShoup = mod.ShoupPrecomp(m.NInv, q)
+	m.psiRev = make([]uint64, n)
+	m.psiRevShoup = make([]uint64, n)
+	m.psiInvRev = make([]uint64, n)
+	m.psiInvRevShoup = make([]uint64, n)
+	powPsi := uint64(1)
+	powPsiInv := uint64(1)
+	for i := 0; i < n; i++ {
+		j := brv[i]
+		m.psiRev[j] = powPsi
+		m.psiInvRev[j] = powPsiInv
+		powPsi = m.BRed.Mul(powPsi, m.Psi)
+		powPsiInv = m.BRed.Mul(powPsiInv, m.PsiInv)
+	}
+	for i := 0; i < n; i++ {
+		m.psiRevShoup[i] = mod.ShoupPrecomp(m.psiRev[i], q)
+		m.psiInvRevShoup[i] = mod.ShoupPrecomp(m.psiInvRev[i], q)
+	}
+	return m, nil
+}
+
+func bitReversalPermutation(logN int) []int {
+	n := 1 << logN
+	brv := make([]int, n)
+	for i := 0; i < n; i++ {
+		r := 0
+		for b := 0; b < logN; b++ {
+			r |= ((i >> b) & 1) << (logN - 1 - b)
+		}
+		brv[i] = r
+	}
+	return brv
+}
+
+// MaxLevel is the highest level (index of the last prime) this ring supports.
+func (r *Ring) MaxLevel() int { return len(r.Moduli) - 1 }
+
+// ModulusProduct returns Π_{i=0..level} q_i as a big integer.
+func (r *Ring) ModulusProduct(level int) *big.Int {
+	p := big.NewInt(1)
+	for i := 0; i <= level; i++ {
+		p.Mul(p, new(big.Int).SetUint64(r.Moduli[i].Q))
+	}
+	return p
+}
+
+// Poly is an RNS polynomial: Coeffs[i][j] is the j-th coefficient's residue
+// modulo Moduli[i]. Rows beyond the active level are scratch space.
+type Poly struct {
+	Coeffs [][]uint64
+}
+
+// NewPoly allocates a zero polynomial with nPrimes residue rows backed by a
+// single contiguous buffer (the layout the paper's PE grid distributes).
+func (r *Ring) NewPoly(nPrimes int) *Poly {
+	backing := make([]uint64, nPrimes*r.N)
+	p := &Poly{Coeffs: make([][]uint64, nPrimes)}
+	for i := range p.Coeffs {
+		p.Coeffs[i] = backing[i*r.N : (i+1)*r.N : (i+1)*r.N]
+	}
+	return p
+}
+
+// NewPolyLevel allocates a zero polynomial usable up to the given level.
+func (r *Ring) NewPolyLevel(level int) *Poly { return r.NewPoly(level + 1) }
+
+// Levels returns the number of residue rows minus one.
+func (p *Poly) Levels() int { return len(p.Coeffs) - 1 }
+
+// CopyLevel copies src rows [0..level] into dst.
+func (r *Ring) CopyLevel(dst, src *Poly, level int) {
+	for i := 0; i <= level; i++ {
+		copy(dst.Coeffs[i], src.Coeffs[i])
+	}
+}
+
+// CopyNew returns a deep copy of p truncated/extended to level+1 rows.
+func (r *Ring) CopyNew(p *Poly, level int) *Poly {
+	out := r.NewPolyLevel(level)
+	r.CopyLevel(out, p, level)
+	return out
+}
+
+// Zero clears rows [0..level].
+func (r *Ring) Zero(p *Poly, level int) {
+	for i := 0; i <= level; i++ {
+		row := p.Coeffs[i]
+		for j := range row {
+			row[j] = 0
+		}
+	}
+}
+
+// Equal reports whether a and b agree on rows [0..level].
+func (r *Ring) Equal(a, b *Poly, level int) bool {
+	for i := 0; i <= level; i++ {
+		for j := 0; j < r.N; j++ {
+			if a.Coeffs[i][j] != b.Coeffs[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// PolyToBigCentered reconstructs the coefficients of p (rows 0..level, coefficient
+// domain) as centered big integers in (-Q/2, Q/2] via the CRT (Eq. 1).
+func (r *Ring) PolyToBigCentered(p *Poly, level int) []*big.Int {
+	q := r.ModulusProduct(level)
+	half := new(big.Int).Rsh(q, 1)
+	// CRT basis: e_i = (Q/q_i) * [(Q/q_i)^-1 mod q_i]
+	basis := make([]*big.Int, level+1)
+	for i := 0; i <= level; i++ {
+		qi := new(big.Int).SetUint64(r.Moduli[i].Q)
+		qhat := new(big.Int).Quo(q, qi)
+		inv := new(big.Int).ModInverse(new(big.Int).Mod(qhat, qi), qi)
+		basis[i] = new(big.Int).Mul(qhat, inv)
+	}
+	out := make([]*big.Int, r.N)
+	tmp := new(big.Int)
+	for j := 0; j < r.N; j++ {
+		acc := new(big.Int)
+		for i := 0; i <= level; i++ {
+			tmp.SetUint64(p.Coeffs[i][j])
+			tmp.Mul(tmp, basis[i])
+			acc.Add(acc, tmp)
+		}
+		acc.Mod(acc, q)
+		if acc.Cmp(half) > 0 {
+			acc.Sub(acc, q)
+		}
+		out[j] = acc
+	}
+	return out
+}
+
+// SetBigCoeffs writes centered (or any) big-integer coefficients into p's
+// rows [0..level], reducing each modulo the corresponding prime.
+func (r *Ring) SetBigCoeffs(p *Poly, coeffs []*big.Int, level int) {
+	tmp := new(big.Int)
+	for i := 0; i <= level; i++ {
+		qi := new(big.Int).SetUint64(r.Moduli[i].Q)
+		for j := 0; j < r.N; j++ {
+			tmp.Mod(coeffs[j], qi)
+			p.Coeffs[i][j] = tmp.Uint64()
+		}
+	}
+}
+
+// SetInt64Coeffs writes signed 64-bit coefficients into rows [0..level].
+func (r *Ring) SetInt64Coeffs(p *Poly, coeffs []int64, level int) {
+	for i := 0; i <= level; i++ {
+		q := r.Moduli[i].Q
+		row := p.Coeffs[i]
+		for j, c := range coeffs {
+			if c >= 0 {
+				row[j] = uint64(c) % q
+			} else {
+				row[j] = q - (uint64(-c) % q)
+				if row[j] == q {
+					row[j] = 0
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,491 @@
+package ring
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bts/internal/mod"
+)
+
+func testRing(t testing.TB, logN, nPrimes int) *Ring {
+	t.Helper()
+	primes, err := mod.GenerateNTTPrimes(45, logN, nPrimes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRing(logN, primes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewRingErrors(t *testing.T) {
+	if _, err := NewRing(1, []uint64{97}); err == nil {
+		t.Fatal("expected error for logN=1")
+	}
+	if _, err := NewRing(4, nil); err == nil {
+		t.Fatal("expected error for empty chain")
+	}
+	if _, err := NewRing(4, []uint64{97, 97}); err == nil {
+		t.Fatal("expected error for duplicate modulus")
+	}
+	if _, err := NewRing(4, []uint64{96}); err == nil {
+		t.Fatal("expected error for composite modulus")
+	}
+	// 65537 ≡ 1 mod 32 holds; but a prime not ≡ 1 mod 2N must fail.
+	if _, err := NewRing(4, []uint64{91393*0 + 23}); err == nil {
+		t.Fatal("expected error for prime without 2N-th root of unity")
+	}
+}
+
+func TestNTTRoundTrip(t *testing.T) {
+	for _, logN := range []int{4, 8, 11} {
+		r := testRing(t, logN, 3)
+		rng := rand.New(rand.NewSource(7))
+		p := r.NewPolyLevel(2)
+		r.SampleUniform(rng, p, 2)
+		orig := r.CopyNew(p, 2)
+		r.NTT(p, 2)
+		if r.Equal(p, orig, 2) {
+			t.Fatal("NTT left polynomial unchanged (degenerate transform)")
+		}
+		r.INTT(p, 2)
+		if !r.Equal(p, orig, 2) {
+			t.Fatalf("logN=%d: INTT(NTT(p)) != p", logN)
+		}
+	}
+}
+
+func TestNTTLinearityProperty(t *testing.T) {
+	r := testRing(t, 8, 1)
+	rng := rand.New(rand.NewSource(8))
+	f := func(seed int64) bool {
+		localRng := rand.New(rand.NewSource(seed ^ rng.Int63()))
+		a := r.NewPolyLevel(0)
+		b := r.NewPolyLevel(0)
+		r.SampleUniform(localRng, a, 0)
+		r.SampleUniform(localRng, b, 0)
+		// NTT(a+b) == NTT(a)+NTT(b)
+		sum := r.NewPolyLevel(0)
+		r.Add(a, b, sum, 0)
+		r.NTT(sum, 0)
+		r.NTT(a, 0)
+		r.NTT(b, 0)
+		sum2 := r.NewPolyLevel(0)
+		r.Add(a, b, sum2, 0)
+		return r.Equal(sum, sum2, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// schoolbookNegacyclic computes a*b mod (X^N+1, q) in O(N^2).
+func schoolbookNegacyclic(a, b []uint64, q uint64) []uint64 {
+	n := len(a)
+	out := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		if a[i] == 0 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			p := mod.Mul(a[i], b[j], q)
+			k := i + j
+			if k < n {
+				out[k] = mod.Add(out[k], p, q)
+			} else {
+				out[k-n] = mod.Sub(out[k-n], p, q)
+			}
+		}
+	}
+	return out
+}
+
+func TestNTTMultiplicationMatchesSchoolbook(t *testing.T) {
+	r := testRing(t, 6, 2)
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 5; trial++ {
+		a := r.NewPolyLevel(1)
+		b := r.NewPolyLevel(1)
+		r.SampleUniform(rng, a, 1)
+		r.SampleUniform(rng, b, 1)
+		var want [][]uint64
+		for i := 0; i <= 1; i++ {
+			want = append(want, schoolbookNegacyclic(a.Coeffs[i], b.Coeffs[i], r.Moduli[i].Q))
+		}
+		r.NTT(a, 1)
+		r.NTT(b, 1)
+		c := r.NewPolyLevel(1)
+		r.MulCoeffs(a, b, c, 1)
+		r.INTT(c, 1)
+		for i := 0; i <= 1; i++ {
+			for j := 0; j < r.N; j++ {
+				if c.Coeffs[i][j] != want[i][j] {
+					t.Fatalf("prime %d coeff %d: got %d want %d", i, j, c.Coeffs[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestNTTEvaluationOrder(t *testing.T) {
+	// Verifies the invariant evalOrderExponent documents: after NTT, row
+	// index i holds A(ψ^(2·brv(i)+1)). The automorphism permutation tables
+	// depend on this.
+	r := testRing(t, 5, 1)
+	m := r.Moduli[0]
+	rng := rand.New(rand.NewSource(10))
+	p := r.NewPolyLevel(0)
+	r.SampleUniform(rng, p, 0)
+	coeffs := append([]uint64(nil), p.Coeffs[0]...)
+	r.NTT(p, 0)
+	for i := 0; i < r.N; i++ {
+		e := uint64(r.evalOrderExponent(i))
+		x := mod.Pow(m.Psi, e, m.Q)
+		// Horner evaluation of the original polynomial at ψ^e.
+		acc := uint64(0)
+		for j := r.N - 1; j >= 0; j-- {
+			acc = mod.Add(mod.Mul(acc, x, m.Q), coeffs[j], m.Q)
+		}
+		if p.Coeffs[0][i] != acc {
+			t.Fatalf("NTT output order mismatch at index %d: got %d want %d", i, p.Coeffs[0][i], acc)
+		}
+	}
+}
+
+func TestAutomorphismNTTMatchesCoeff(t *testing.T) {
+	r := testRing(t, 7, 2)
+	rng := rand.New(rand.NewSource(11))
+	for _, g := range []uint64{5, 25, r.GaloisElement(3), r.GaloisElement(-1), r.GaloisConjugate()} {
+		p := r.NewPolyLevel(1)
+		r.SampleUniform(rng, p, 1)
+
+		// Path 1: coefficient-domain automorphism, then NTT.
+		want := r.NewPolyLevel(1)
+		r.AutomorphismCoeff(p, g, want, 1)
+		r.NTT(want, 1)
+
+		// Path 2: NTT, then NTT-domain permutation.
+		got := r.NewPolyLevel(1)
+		pn := r.CopyNew(p, 1)
+		r.NTT(pn, 1)
+		r.AutomorphismNTT(pn, g, got, 1)
+
+		if !r.Equal(got, want, 1) {
+			t.Fatalf("automorphism mismatch for galois element %d", g)
+		}
+	}
+}
+
+func TestAutomorphismComposition(t *testing.T) {
+	// σ_g1 ∘ σ_g2 = σ_{g1·g2 mod 2N} in the coefficient domain.
+	r := testRing(t, 6, 1)
+	rng := rand.New(rand.NewSource(12))
+	p := r.NewPolyLevel(0)
+	r.SampleUniform(rng, p, 0)
+	g1, g2 := r.GaloisElement(2), r.GaloisElement(5)
+	g12 := (g1 * g2) & uint64(2*r.N-1)
+
+	t1 := r.NewPolyLevel(0)
+	t2 := r.NewPolyLevel(0)
+	r.AutomorphismCoeff(p, g2, t1, 0)
+	r.AutomorphismCoeff(t1, g1, t2, 0)
+
+	want := r.NewPolyLevel(0)
+	r.AutomorphismCoeff(p, g12, want, 0)
+	if !r.Equal(t2, want, 0) {
+		t.Fatal("automorphism composition failed")
+	}
+}
+
+func TestGaloisElement(t *testing.T) {
+	r := testRing(t, 6, 1)
+	if g := r.GaloisElement(0); g != 1 {
+		t.Fatalf("GaloisElement(0)=%d want 1", g)
+	}
+	if g := r.GaloisElement(1); g != 5 {
+		t.Fatalf("GaloisElement(1)=%d want 5", g)
+	}
+	// Rotation by r then by -r must compose to identity.
+	g1, g2 := r.GaloisElement(7), r.GaloisElement(-7)
+	if (g1*g2)&(uint64(2*r.N)-1) != 1 {
+		t.Fatal("GaloisElement(7)*GaloisElement(-7) != 1 mod 2N")
+	}
+}
+
+func TestPolyBigRoundTrip(t *testing.T) {
+	r := testRing(t, 5, 3)
+	rng := rand.New(rand.NewSource(13))
+	coeffs := make([]*big.Int, r.N)
+	q := r.ModulusProduct(2)
+	half := new(big.Int).Rsh(q, 1)
+	for j := range coeffs {
+		v := new(big.Int).Rand(rng, q)
+		v.Sub(v, half)
+		coeffs[j] = v
+	}
+	p := r.NewPolyLevel(2)
+	r.SetBigCoeffs(p, coeffs, 2)
+	back := r.PolyToBigCentered(p, 2)
+	for j := range coeffs {
+		if coeffs[j].Cmp(back[j]) != 0 {
+			t.Fatalf("coeff %d: got %v want %v", j, back[j], coeffs[j])
+		}
+	}
+}
+
+func TestSetInt64Coeffs(t *testing.T) {
+	r := testRing(t, 4, 2)
+	coeffs := make([]int64, r.N)
+	coeffs[0] = -3
+	coeffs[1] = 7
+	coeffs[2] = -1 << 40
+	p := r.NewPolyLevel(1)
+	r.SetInt64Coeffs(p, coeffs, 1)
+	back := r.PolyToBigCentered(p, 1)
+	for j, c := range coeffs {
+		if back[j].Int64() != c {
+			t.Fatalf("coeff %d: got %v want %d", j, back[j], c)
+		}
+	}
+}
+
+func TestBasisExtenderCongruenceAndOverflow(t *testing.T) {
+	// The fast BConv of Eq. 9 returns rep(x) + α·Q with rep(x) ∈ [0,Q) and
+	// 0 ≤ α < #source primes; key-switching is designed to absorb the αQ
+	// overflow (Section 4.1). The target base must dominate the source base
+	// for the result to be representable, as in ModUp (P ≥ Q_j).
+	rQ := testRing(t, 5, 2) // Q ≈ 2^90
+	primesP, err := mod.GenerateNTTPrimes(55, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rP, err := NewRing(5, primesP) // P ≈ 2^220 ≫ nf·Q
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := NewBasisExtender(rQ.Moduli, rP.Moduli)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(15))
+	in := rQ.NewPolyLevel(1)
+	rQ.SampleUniform(rng, in, 1)
+	q := rQ.ModulusProduct(1)
+	vals := rQ.PolyToBigCentered(in, 1)
+	out := rP.NewPolyLevel(3)
+	be.Convert(in.Coeffs, out.Coeffs)
+	back := rP.PolyToBigCentered(out, 3)
+	nf := int64(len(rQ.Moduli))
+	diff := new(big.Int)
+	for j := range vals {
+		diff.Sub(back[j], vals[j])
+		diff.Mod(diff, q)
+		if diff.Sign() != 0 {
+			t.Fatalf("coeff %d: BConv result not congruent mod Q", j)
+		}
+		// rep(x) ∈ [0,Q) and α < nf, so 0 ≤ back < (nf+1)·Q.
+		if back[j].Sign() < 0 {
+			t.Fatalf("coeff %d: BConv produced negative representative %v", j, back[j])
+		}
+		bound := new(big.Int).Mul(q, big.NewInt(nf+1))
+		if back[j].Cmp(bound) >= 0 {
+			t.Fatalf("coeff %d: BConv overflow too large: %v", j, back[j])
+		}
+	}
+}
+
+func TestBasisExtenderErrors(t *testing.T) {
+	r := testRing(t, 4, 2)
+	if _, err := NewBasisExtender(nil, r.Moduli); err == nil {
+		t.Fatal("expected error for empty source basis")
+	}
+	if _, err := NewBasisExtender(r.Moduli, r.Moduli); err == nil {
+		t.Fatal("expected error for overlapping bases")
+	}
+}
+
+func TestDivRoundByLastModulusNTT(t *testing.T) {
+	r := testRing(t, 5, 3)
+	rng := rand.New(rand.NewSource(16))
+	level := 2
+	p := r.NewPolyLevel(level)
+	r.SampleUniform(rng, p, level)
+	vals := r.PolyToBigCentered(p, level)
+	qL := new(big.Int).SetUint64(r.Moduli[level].Q)
+
+	r.NTT(p, level)
+	r.DivRoundByLastModulusNTT(p, level)
+	r.INTT(p, level-1)
+	got := r.PolyToBigCentered(p, level-1)
+
+	half := new(big.Int).Rsh(qL, 1)
+	for j := range got {
+		// want = round(vals[j]/qL): (v - centered remainder)/qL
+		rem := new(big.Int).Mod(vals[j], qL)
+		if rem.Cmp(half) > 0 {
+			rem.Sub(rem, qL)
+		}
+		want := new(big.Int).Sub(vals[j], rem)
+		want.Quo(want, qL)
+		diff := new(big.Int).Sub(got[j], want)
+		if diff.CmpAbs(big.NewInt(1)) > 0 {
+			t.Fatalf("coeff %d: rescale got %v want %v", j, got[j], want)
+		}
+	}
+}
+
+func TestSamplers(t *testing.T) {
+	r := testRing(t, 8, 2)
+	rng := rand.New(rand.NewSource(17))
+
+	s := r.NewPolyLevel(1)
+	r.SampleTernarySparse(rng, s, 32, 1)
+	back := r.PolyToBigCentered(s, 1)
+	nonzero := 0
+	for _, v := range back {
+		switch v.Int64() {
+		case 0:
+		case 1, -1:
+			nonzero++
+		default:
+			t.Fatalf("ternary sample produced %v", v)
+		}
+	}
+	if nonzero != 32 {
+		t.Fatalf("ternary Hamming weight = %d, want 32", nonzero)
+	}
+
+	e := r.NewPolyLevel(1)
+	r.SampleGaussian(rng, e, 3.2, 1)
+	eb := r.PolyToBigCentered(e, 1)
+	for _, v := range eb {
+		if v.CmpAbs(big.NewInt(20)) > 0 {
+			t.Fatalf("gaussian sample out of 6σ bound: %v", v)
+		}
+	}
+
+	u := r.NewPolyLevel(1)
+	r.SampleUniform(rng, u, 1)
+	// crude uniformity check: mean should be near q/2
+	var sum float64
+	for _, v := range u.Coeffs[0] {
+		sum += float64(v)
+	}
+	mean := sum / float64(r.N)
+	q := float64(r.Moduli[0].Q)
+	if mean < 0.4*q || mean > 0.6*q {
+		t.Fatalf("uniform sample mean %f suspicious (q=%f)", mean, q)
+	}
+}
+
+func TestElementWiseOpsProperty(t *testing.T) {
+	r := testRing(t, 6, 2)
+	rng := rand.New(rand.NewSource(18))
+	f := func(seed int64) bool {
+		lr := rand.New(rand.NewSource(seed))
+		a, b := r.NewPolyLevel(1), r.NewPolyLevel(1)
+		r.SampleUniform(lr, a, 1)
+		r.SampleUniform(lr, b, 1)
+		_ = rng
+		// (a+b)-b == a
+		s, d := r.NewPolyLevel(1), r.NewPolyLevel(1)
+		r.Add(a, b, s, 1)
+		r.Sub(s, b, d, 1)
+		if !r.Equal(d, a, 1) {
+			return false
+		}
+		// a + (-a) == 0
+		neg, z := r.NewPolyLevel(1), r.NewPolyLevel(1)
+		r.Neg(a, neg, 1)
+		r.Add(a, neg, z, 1)
+		zero := r.NewPolyLevel(1)
+		return r.Equal(z, zero, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulScalar(t *testing.T) {
+	r := testRing(t, 4, 2)
+	rng := rand.New(rand.NewSource(19))
+	a := r.NewPolyLevel(1)
+	r.SampleUniform(rng, a, 1)
+	out := r.NewPolyLevel(1)
+	r.MulScalar(a, 3, out, 1)
+	// 3a == a+a+a
+	want := r.NewPolyLevel(1)
+	r.Add(a, a, want, 1)
+	r.Add(want, a, want, 1)
+	if !r.Equal(out, want, 1) {
+		t.Fatal("MulScalar(3) != a+a+a")
+	}
+	r.MulScalarInt64(a, -1, out, 1)
+	r.Neg(a, want, 1)
+	if !r.Equal(out, want, 1) {
+		t.Fatal("MulScalarInt64(-1) != Neg")
+	}
+}
+
+func TestMulCoeffsAndAdd(t *testing.T) {
+	r := testRing(t, 4, 1)
+	rng := rand.New(rand.NewSource(20))
+	a, b := r.NewPolyLevel(0), r.NewPolyLevel(0)
+	r.SampleUniform(rng, a, 0)
+	r.SampleUniform(rng, b, 0)
+	acc := r.NewPolyLevel(0)
+	r.MulCoeffs(a, b, acc, 0)
+	want := r.CopyNew(acc, 0)
+	r.Add(want, want, want, 0) // 2ab
+	r.MulCoeffsAndAdd(a, b, acc, 0)
+	if !r.Equal(acc, want, 0) {
+		t.Fatal("MulCoeffsAndAdd mismatch")
+	}
+}
+
+func BenchmarkNTT(b *testing.B) {
+	for _, logN := range []int{12, 13, 14} {
+		r := testRing(b, logN, 1)
+		rng := rand.New(rand.NewSource(21))
+		p := r.NewPolyLevel(0)
+		r.SampleUniform(rng, p, 0)
+		b.Run("logN="+itoa(logN), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r.NTT(p, 0)
+			}
+		})
+	}
+}
+
+func BenchmarkBConv(b *testing.B) {
+	rQ := testRing(b, 13, 8)
+	primesP, _ := mod.GenerateNTTPrimes(50, 13, 4)
+	rP, _ := NewRing(13, primesP)
+	be, _ := NewBasisExtender(rQ.Moduli, rP.Moduli)
+	rng := rand.New(rand.NewSource(22))
+	in := rQ.NewPolyLevel(7)
+	rQ.SampleUniform(rng, in, 7)
+	out := rP.NewPolyLevel(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		be.Convert(in.Coeffs, out.Coeffs)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

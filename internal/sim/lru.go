@@ -1,0 +1,70 @@
+package sim
+
+import "container/list"
+
+// lru is the software-managed ciphertext cache occupying the scratchpad
+// space left after temporary data and the prefetched evk (Section 6.2:
+// "the scratchpad space is prioritized in the order of the temporary data,
+// prefetched evk, and finally ct caching with an LRU policy").
+type lru struct {
+	capacity int64
+	used     int64
+	entries  map[int64]*list.Element
+	order    *list.List // front = most recently used
+
+	hits, misses int64
+}
+
+type lruEntry struct {
+	key  int64
+	size int64
+}
+
+func newLRU(capacity int64) *lru {
+	return &lru{
+		capacity: capacity,
+		entries:  make(map[int64]*list.Element),
+		order:    list.New(),
+	}
+}
+
+// touch records an access to key with the given size. It returns true on a
+// hit. On a miss the object is inserted (evicting LRU entries as needed);
+// objects larger than the whole cache are bypassed.
+func (c *lru) touch(key, size int64) bool {
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		// Sizes can change as ciphertexts move levels; adjust.
+		e := el.Value.(*lruEntry)
+		c.used += size - e.size
+		e.size = size
+		c.evict()
+		c.hits++
+		return true
+	}
+	c.misses++
+	if size > c.capacity {
+		return false
+	}
+	el := c.order.PushFront(&lruEntry{key: key, size: size})
+	c.entries[key] = el
+	c.used += size
+	c.evict()
+	return false
+}
+
+func (c *lru) evict() {
+	for c.used > c.capacity {
+		back := c.order.Back()
+		if back == nil {
+			return
+		}
+		e := back.Value.(*lruEntry)
+		c.order.Remove(back)
+		delete(c.entries, e.key)
+		c.used -= e.size
+	}
+}
+
+// Len returns the number of resident objects.
+func (c *lru) Len() int { return c.order.Len() }

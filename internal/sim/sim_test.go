@@ -1,0 +1,258 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bts/internal/arch"
+	"bts/internal/params"
+	"bts/internal/workload"
+)
+
+func TestHMultLatencyMatchesFig8(t *testing.T) {
+	// Fig. 8: a top-level HMult on INS-1 takes ≈ the evk load time
+	// (~112 MiB at 1 TB/s ≈ 117 µs; the paper's axis reads ≈ 128 µs).
+	s := New(arch.Default(), params.INS1)
+	op := workload.Op{Kind: workload.HMult, Level: params.INS1.L, CtIn: []int{1, 2}, CtOut: 3}
+	hbm, ntt, bconv, _, _, total := s.OpBreakdown(op)
+	if total < 100e-6 || total > 140e-6 {
+		t.Fatalf("HMult total %.1f µs outside [100,140]", total*1e6)
+	}
+	if hbm/total < 0.95 {
+		t.Fatalf("HMult must be memory-bound: HBM %.0f%%", 100*hbm/total)
+	}
+	// NTTU ≈ 76% and BConvU ≈ 33% busy in the paper.
+	if r := ntt / total; r < 0.6 || r > 0.9 {
+		t.Fatalf("NTTU busy fraction %.2f outside [0.6,0.9]", r)
+	}
+	if r := bconv / total; r < 0.15 || r > 0.45 {
+		t.Fatalf("BConvU busy fraction %.2f outside [0.15,0.45]", r)
+	}
+}
+
+func TestMinBoundMatchesPaper(t *testing.T) {
+	// Section 3.4: minimum-bound T_mult,a/slot of 27.7/19.9/22.1 ns for
+	// INS-1/2/3. The reproduction must land within 25%.
+	want := [3]float64{27.7, 19.9, 22.1}
+	shape := workload.PaperBootstrapShape()
+	for i, inst := range params.PaperInstances() {
+		got, err := MinBoundMultPerSlot(inst, shape, 1e12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotNs := got * 1e9
+		if math.Abs(gotNs-want[i])/want[i] > 0.25 {
+			t.Fatalf("%s: min bound %.1f ns, paper %.1f (>25%% off)", inst.Name, gotNs, want[i])
+		}
+	}
+}
+
+func TestAmortizedAboveMinBound(t *testing.T) {
+	// The simulated Tmult can never beat the minimum bound (Fig. 7a).
+	shape := workload.PaperBootstrapShape()
+	for _, inst := range params.PaperInstances() {
+		mb, _ := MinBoundMultPerSlot(inst, shape, 1e12)
+		s := New(arch.Default(), inst)
+		got, err := s.AmortizedMultPerSlot(shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < mb {
+			t.Fatalf("%s: simulated %.1f ns below bound %.1f ns", inst.Name, got*1e9, mb*1e9)
+		}
+	}
+}
+
+func TestLargerScratchpadNeverSlower(t *testing.T) {
+	shape := workload.PaperBootstrapShape()
+	for _, inst := range params.PaperInstances() {
+		var prev float64 = math.Inf(1)
+		for _, mb := range []int64{256, 512, 1024, 2048} {
+			hw := arch.Default()
+			hw.ScratchpadBytes = mb << 20
+			s := New(hw, inst)
+			got, err := s.AmortizedMultPerSlot(shape)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got > prev*1.0001 {
+				t.Fatalf("%s: Tmult increased when growing scratchpad to %d MB", inst.Name, mb)
+			}
+			prev = got
+		}
+	}
+}
+
+func TestBandwidthScaling(t *testing.T) {
+	// Fig. 9: 2 TB/s HBM helps, but by much less than 2× (compute-bound
+	// fraction grows).
+	shape := workload.PaperBootstrapShape()
+	base := New(arch.Default(), params.INS1)
+	t1, _ := base.AmortizedMultPerSlot(shape)
+	fast := arch.Default()
+	fast.HBMBytesPerSec = 2e12
+	s2 := New(fast, params.INS1)
+	t2, _ := s2.AmortizedMultPerSlot(shape)
+	speedup := t1 / t2
+	if speedup < 1.05 || speedup > 1.9 {
+		t.Fatalf("2 TB/s speedup %.2fx outside (1.05, 1.9)", speedup)
+	}
+}
+
+func TestBConvOverlapHelpsWhenComputeBound(t *testing.T) {
+	// With abundant bandwidth the op becomes compute-bound and the Eq. 11
+	// overlap must shorten HMult.
+	hw := arch.Default()
+	hw.HBMBytesPerSec = 10e12
+	on := New(hw, params.INS1)
+	hwOff := hw
+	hwOff.BConvOverlap = false
+	off := New(hwOff, params.INS1)
+	op := workload.Op{Kind: workload.HMult, Level: params.INS1.L, CtIn: []int{1, 2}, CtOut: 3}
+	_, _, _, _, _, tOn := on.OpBreakdown(op)
+	_, _, _, _, _, tOff := off.OpBreakdown(op)
+	if tOn >= tOff {
+		t.Fatalf("overlap on %.1fµs not faster than off %.1fµs", tOn*1e6, tOff*1e6)
+	}
+}
+
+func TestBootTimeFractionTracked(t *testing.T) {
+	shape := workload.PaperBootstrapShape()
+	tr := workload.AmortizedMultTrace(params.INS1, shape)
+	s := New(arch.Default(), params.INS1)
+	st := s.RunTrace(tr)
+	if st.BootTime <= 0 || st.BootTime > st.Time {
+		t.Fatalf("boot time %.3g outside (0, total=%.3g]", st.BootTime, st.Time)
+	}
+	if st.BootTime/st.Time < 0.5 {
+		t.Fatalf("bootstrapping should dominate the amortized trace, got %.0f%%",
+			100*st.BootTime/st.Time)
+	}
+}
+
+func TestEnergyAndEDAPPositive(t *testing.T) {
+	shape := workload.PaperBootstrapShape()
+	tr := workload.BootstrapTrace(params.INS1, shape)
+	s := New(arch.Default(), params.INS1)
+	st := s.RunTrace(tr)
+	if st.EnergyJ <= 0 || st.EDAP() <= 0 {
+		t.Fatalf("non-positive energy %.3g / EDAP %.3g", st.EnergyJ, st.EDAP())
+	}
+	// Average power must stay below the chip's 163.2 W peak.
+	if avgP := st.EnergyJ / st.Time; avgP > arch.TotalPower() {
+		t.Fatalf("average power %.1f W exceeds peak %.1f W", avgP, arch.TotalPower())
+	}
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	shape := workload.PaperBootstrapShape()
+	tr := workload.BootstrapTrace(params.INS2, shape)
+	s := New(arch.Default(), params.INS2)
+	st := s.RunTrace(tr)
+	for _, r := range []string{"HBM", "NTTU", "BConvU", "NoC", "Scratchpad"} {
+		u := st.Utilization(r)
+		if u < 0 || u > 1.0001 {
+			t.Fatalf("%s utilization %.3f outside [0,1]", r, u)
+		}
+	}
+}
+
+func TestTimelineRecording(t *testing.T) {
+	shape := workload.PaperBootstrapShape()
+	tr := workload.BootstrapTrace(params.INS1, shape)
+	s := New(arch.Default(), params.INS1)
+	s.RecordTimeline = true
+	s.RunTrace(tr)
+	if len(s.Timeline) == 0 {
+		t.Fatal("no timeline events recorded")
+	}
+	for _, ev := range s.Timeline {
+		if ev.End < ev.Start {
+			t.Fatalf("event %s/%s ends before it starts", ev.Op, ev.Phase)
+		}
+	}
+}
+
+func TestCacheConservationProperty(t *testing.T) {
+	// LRU invariant: used ≤ capacity, hits+misses equals touches.
+	f := func(keys []uint16) bool {
+		c := newLRU(1 << 20)
+		touches := 0
+		for _, k := range keys {
+			c.touch(int64(k%64), int64(k%7+1)*(1<<16))
+			touches++
+		}
+		if c.used > c.capacity {
+			return false
+		}
+		return int(c.hits+c.misses) == touches
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheOversizeBypass(t *testing.T) {
+	c := newLRU(100)
+	if c.touch(1, 1000) {
+		t.Fatal("first touch cannot hit")
+	}
+	if c.Len() != 0 {
+		t.Fatal("oversize object must bypass the cache")
+	}
+	c.touch(2, 60)
+	c.touch(3, 60) // evicts 2
+	if c.used > 100 {
+		t.Fatalf("capacity violated: %d", c.used)
+	}
+	if c.touch(2, 60) {
+		t.Fatal("evicted entry must miss")
+	}
+}
+
+func TestStatsDeterminism(t *testing.T) {
+	shape := workload.PaperBootstrapShape()
+	tr := workload.BootstrapTrace(params.INS3, shape)
+	a := New(arch.Default(), params.INS3).RunTrace(tr)
+	b := New(arch.Default(), params.INS3).RunTrace(tr)
+	if a.Time != b.Time || a.HBMBytes != b.HBMBytes || a.EnergyJ != b.EnergyJ {
+		t.Fatal("simulation is not deterministic")
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on invalid config")
+		}
+	}()
+	bad := arch.Default()
+	bad.FreqHz = 0
+	New(bad, params.INS1)
+}
+
+func TestRPLPSlowerThanCLP(t *testing.T) {
+	// Section 4.3: rPLP's per-polynomial work quantization leaves PEs idle
+	// when the live residue count is not a multiple of the cluster count,
+	// so CLP (BTS) must never lose and must win at awkward levels.
+	shape := workload.PaperBootstrapShape()
+	clp := New(arch.Default(), params.INS1)
+	tCLP, _ := clp.AmortizedMultPerSlot(shape)
+	hw := arch.Default()
+	hw.RPLP = true
+	hw.RPLPClusters = 16
+	rplp := New(hw, params.INS1)
+	tRPLP, _ := rplp.AmortizedMultPerSlot(shape)
+	if tRPLP < tCLP {
+		t.Fatalf("rPLP (%.1f ns) beat CLP (%.1f ns)", tRPLP*1e9, tCLP*1e9)
+	}
+	// Per-op: at a level where nPoly mod clusters is small, the penalty is
+	// pronounced (last wave nearly idle).
+	op := workload.Op{Kind: workload.HMult, Level: 4, CtIn: []int{1, 2}, CtOut: 3} // 108 polys: not a multiple of 16 clusters
+	_, nttCLP, _, _, _, _ := clp.OpBreakdown(op)
+	_, nttRPLP, _, _, _, _ := rplp.OpBreakdown(op)
+	if nttRPLP <= nttCLP {
+		t.Fatalf("rPLP NTT time %.2g not above CLP %.2g at a low level", nttRPLP, nttCLP)
+	}
+}

@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bts/internal/params"
+)
+
+func TestBootstrapShapeLevels(t *testing.T) {
+	if got := PaperBootstrapShape().Levels(); got != 19 {
+		t.Fatalf("paper bootstrap consumes %d levels, want 19 (Section 2.4)", got)
+	}
+	if got := CompactBootstrapShape().Levels(); got != 13 {
+		t.Fatalf("compact bootstrap consumes %d levels, want 13", got)
+	}
+}
+
+func TestBootstrapTraceShape(t *testing.T) {
+	tr := BootstrapTrace(params.INS1, PaperBootstrapShape())
+	if len(tr.Ops) < 500 {
+		t.Fatalf("bootstrapping should be hundreds of primitive ops, got %d", len(tr.Ops))
+	}
+	ks := tr.KeySwitchOps()
+	// Calibrated to land the Section 3.4 minimum bound: ~143 evk streams.
+	if ks < 120 || ks > 160 {
+		t.Fatalf("bootstrap key-switch count %d outside [120,160]", ks)
+	}
+	counts := tr.Counts()
+	if counts[ModRaise] != 1 {
+		t.Fatalf("expected exactly one ModRaise, got %d", counts[ModRaise])
+	}
+	// The paper notes bootstrapping needs > 40 distinct rotation evks.
+	rots := map[int]bool{}
+	for _, op := range tr.Ops {
+		if op.Kind == HRot {
+			rots[op.Rot] = true
+		}
+	}
+	if len(rots) <= 40 {
+		t.Fatalf("only %d distinct rotation amounts, paper says > 40", len(rots))
+	}
+}
+
+func TestBootstrapLevelsNeverNegative(t *testing.T) {
+	for _, inst := range params.PaperInstances() {
+		tr := BootstrapTrace(inst, PaperBootstrapShape())
+		for i, op := range tr.Ops {
+			if op.Level < 0 || op.Level > inst.L {
+				t.Fatalf("%s op %d (%v) at invalid level %d", inst.Name, i, op.Kind, op.Level)
+			}
+		}
+	}
+}
+
+func TestAmortizedTraceStructure(t *testing.T) {
+	shape := PaperBootstrapShape()
+	tr := AmortizedMultTrace(params.INS1, shape)
+	if tr.Bootstraps != 1 {
+		t.Fatalf("amortized trace has %d bootstraps, want 1", tr.Bootstraps)
+	}
+	// One top-level HMult per usable level outside the bootstrap.
+	mults := 0
+	for _, op := range tr.Ops {
+		if op.Kind == HMult && !op.Boot {
+			mults++
+		}
+	}
+	if want := UsableLevels(params.INS1, shape); mults != want {
+		t.Fatalf("amortized trace has %d app-level HMults, want %d", mults, want)
+	}
+}
+
+func TestEmergentBootstrapCounts(t *testing.T) {
+	// Table 6's per-instance bootstrap counts must emerge from level
+	// accounting with the right ordering: INS-1 > INS-2 > INS-3.
+	shape := PaperBootstrapShape()
+	var res [3]int
+	var srt [3]int
+	for i, inst := range params.PaperInstances() {
+		res[i] = ResNet20Trace(inst, shape, DefaultResNet()).Bootstraps
+		srt[i] = SortingTrace(inst, shape, DefaultSorting()).Bootstraps
+	}
+	if !(res[0] > res[1] && res[1] > res[2]) {
+		t.Fatalf("ResNet bootstraps %v not decreasing across INS-1/2/3", res)
+	}
+	if !(srt[0] > srt[1] && srt[1] > srt[2]) {
+		t.Fatalf("sorting bootstraps %v not decreasing", srt)
+	}
+	// INS-1 magnitudes near the paper's 53 and 521.
+	if res[0] < 40 || res[0] > 70 {
+		t.Fatalf("ResNet INS-1 bootstraps=%d, paper reports 53", res[0])
+	}
+	if srt[0] < 400 || srt[0] > 650 {
+		t.Fatalf("sorting INS-1 bootstraps=%d, paper reports 521", srt[0])
+	}
+}
+
+func TestHELRTraceBoots(t *testing.T) {
+	shape := PaperBootstrapShape()
+	tr := HELRTrace(params.INS1, shape, DefaultHELR())
+	if tr.Bootstraps < DefaultHELR().Iterations/2 {
+		t.Fatalf("HELR on INS-1 must bootstrap ≈ once per iteration, got %d/%d",
+			tr.Bootstraps, DefaultHELR().Iterations)
+	}
+}
+
+func TestShapeForInstance(t *testing.T) {
+	if s, ok := ShapeForInstance(params.INS1); !ok || s.Levels() != 19 {
+		t.Fatal("INS-1 must use the 19-level pipeline")
+	}
+	small := params.Instance{Name: "small", LogN: 16, L: 15, Dnum: 2, LogQ0: 60, LogQi: 50, LogP: 60}
+	if s, ok := ShapeForInstance(small); !ok || s.Levels() != 13 {
+		t.Fatal("L=15 must fall back to the compact pipeline")
+	}
+	tiny := params.Instance{Name: "tiny", LogN: 16, L: 8, Dnum: 1, LogQ0: 60, LogQi: 50, LogP: 60}
+	if _, ok := ShapeForInstance(tiny); ok {
+		t.Fatal("L=8 cannot bootstrap")
+	}
+}
+
+func TestTraceLevelInvariantProperty(t *testing.T) {
+	// Property: every op of every app trace sits within [0, L], and evk
+	// ops never appear at level 0 (key-switching needs at least one prime).
+	shape := PaperBootstrapShape()
+	f := func(pick uint8) bool {
+		inst := params.PaperInstances()[int(pick)%3]
+		traces := []Trace{
+			ResNet20Trace(inst, shape, DefaultResNet()),
+			SortingTrace(inst, shape, DefaultSorting()),
+			HELRTrace(inst, shape, DefaultHELR()),
+		}
+		for _, tr := range traces {
+			for _, op := range tr.Ops {
+				if op.Level < 0 || op.Level > inst.L {
+					return false
+				}
+				if op.Kind.UsesEvk() && op.Level < 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChannelPackingReducesWork(t *testing.T) {
+	// The paper reports 17.8× throughput gain from channel packing; at the
+	// trace level the unpacked variant must carry far more rotations.
+	shape := PaperBootstrapShape()
+	packed := ResNet20Trace(params.INS1, shape, DefaultResNet())
+	cfg := DefaultResNet()
+	cfg.ChannelPacking = false
+	unpacked := ResNet20Trace(params.INS1, shape, cfg)
+	if unpacked.Counts()[HRot] < 4*packed.Counts()[HRot] {
+		t.Fatalf("unpacked ResNet should need ≫ rotations: %d vs %d",
+			unpacked.Counts()[HRot], packed.Counts()[HRot])
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if HMult.String() != "HMult" || ModRaise.String() != "ModRaise" {
+		t.Fatal("OpKind names broken")
+	}
+	if !HMult.UsesEvk() || !HRot.UsesEvk() || HAdd.UsesEvk() {
+		t.Fatal("UsesEvk misclassifies ops")
+	}
+}
