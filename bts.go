@@ -17,6 +17,25 @@
 //     (internal/baseline), and the experiment harness regenerating every
 //     table and figure (internal/eval).
 //
+// # Execution engine
+//
+// The CKKS library executes on a limb-parallel engine (ring.Engine): every
+// NTT, element-wise op, automorphism and base conversion is expressed as one
+// independent task per RNS limb and fanned out across a worker pool — the
+// software analogue of the paper's thesis that Full-RNS CKKS exposes massive
+// residue-polynomial-level parallelism. A context created by NewScheme runs
+// on a process-wide pool sized to runtime.GOMAXPROCS; NewSchemeWorkers (or
+// Context.SetWorkers) picks an explicit worker count, with 0 selecting the
+// serial fallback. Results are bit-identical for every worker count, so the
+// knob is purely a throughput dial: worker counts up to the number of
+// physical cores scale near-linearly while the active limb count (level+1)
+// exceeds them; beyond that, extra workers idle. Hot operations draw all
+// temporary polynomials from per-ring sync.Pool scratch allocators
+// (ring.GetPoly/PutPoly), so steady-state evaluation and bootstrapping do
+// not allocate. Long-lived processes that create many contexts with
+// explicit worker counts should Context.Close discarded ones to release
+// their private worker pools.
+//
 // This package re-exports the stable entry points used by the examples and
 // command-line tools; the root-level benchmarks (bench_test.go) regenerate
 // the paper's evaluation via the same functions.
@@ -40,13 +59,27 @@ type (
 	Ciphertext = ckks.Ciphertext
 )
 
-// NewScheme generates NTT-friendly primes for lit and opens a context.
+// NewScheme generates NTT-friendly primes for lit and opens a context. The
+// context executes limb-parallel on the shared GOMAXPROCS-sized worker pool.
 func NewScheme(lit SchemeParams) (*ckks.Context, error) {
 	p, err := ckks.NewParameters(lit)
 	if err != nil {
 		return nil, err
 	}
 	return ckks.NewContext(p)
+}
+
+// NewSchemeWorkers is NewScheme with an explicit execution-engine worker
+// count: workers <= 1 (and in particular 0) forces serial execution, higher
+// counts fan limb-indexed tasks across that many goroutines. Outputs are
+// bit-identical for every worker count.
+func NewSchemeWorkers(lit SchemeParams, workers int) (*ckks.Context, error) {
+	ctx, err := NewScheme(lit)
+	if err != nil {
+		return nil, err
+	}
+	ctx.SetWorkers(workers)
+	return ctx, nil
 }
 
 // Accelerator modeling (the paper's contribution).

@@ -2,13 +2,21 @@
 // evaluation section and prints them as text tables (the same rows the root
 // benchmark harness reports). Usage:
 //
-//	btsbench [-experiment all|table1|fig1|fig2|fig3b|table3|table4|fig6|fig7|fig8|fig9|fig10|table5|table6|slowdown]
+//	btsbench [-experiment all|table1|fig1|fig2|fig3b|table3|table4|fig6|fig7|fig8|fig9|fig10|table5|table6|slowdown|speedup] [-workers N]
+//
+// The speedup experiment is special: instead of replaying the paper's model,
+// it runs the real CKKS library (NTT, HMult key-switching, HRot, HRescale and
+// a reduced-degree bootstrap) serially and then on the limb-parallel
+// execution engine with -workers goroutines, reporting the measured
+// serial-vs-parallel speedup curve on this machine. It is excluded from
+// "all" because it measures the host, not the paper.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 
 	"bts/internal/arch"
@@ -17,7 +25,8 @@ import (
 )
 
 func main() {
-	which := flag.String("experiment", "all", "experiment to run (all, table1, fig1, ... slowdown)")
+	which := flag.String("experiment", "all", "experiment to run (all, table1, fig1, ... slowdown, speedup)")
+	workers := flag.Int("workers", runtime.NumCPU(), "execution-engine worker count for -experiment speedup (0 = serial)")
 	flag.Parse()
 
 	experiments := []struct {
@@ -36,6 +45,11 @@ func main() {
 			e.run()
 			ran = true
 		}
+	}
+	if *which == "speedup" {
+		fmt.Printf("\n===== speedup =====\n")
+		speedup(*workers)
+		ran = true
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *which)

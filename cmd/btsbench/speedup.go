@@ -1,0 +1,164 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"bts/internal/ckks"
+	"bts/internal/eval"
+)
+
+// speedup measures the real CKKS library serially and on the limb-parallel
+// execution engine. The same contexts, keys and ciphertexts are reused for
+// both runs — only the engine's worker count changes — so the comparison
+// isolates the engine, and the outputs are bit-identical by construction
+// (see the equivalence tests in internal/ring and internal/ckks).
+func speedup(workers int) {
+	fmt.Printf("host run: %d workers vs serial (outputs bit-identical)\n", workers)
+
+	// LogN=12 evaluation instance (the reduced degree of the library
+	// benchmarks; paper scale is 2^17).
+	params, err := ckks.NewParameters(ckks.ParametersLiteral{
+		LogN:     12,
+		LogQ:     []int{50, 40, 40, 40, 40, 40, 40, 40},
+		LogP:     51,
+		Dnum:     3,
+		LogScale: 40,
+		H:        64,
+	})
+	if err != nil {
+		fmt.Printf("setup failed: %v\n", err)
+		return
+	}
+	ctx, err := ckks.NewContext(params)
+	if err != nil {
+		fmt.Printf("setup failed: %v\n", err)
+		return
+	}
+	kg := ckks.NewKeyGenerator(ctx, 1)
+	sk := kg.GenSecretKey()
+	rlk := kg.GenRelinearizationKey(sk)
+	rtks := kg.GenRotationKeys(sk, []int{1}, true)
+	encoder := ckks.NewEncoder(ctx)
+	evaluator := ckks.NewEvaluator(ctx, encoder, rlk, rtks)
+	enc := ckks.NewEncryptorSK(ctx, sk, 2)
+
+	rng := rand.New(rand.NewSource(3))
+	maxLvl := params.MaxLevel()
+	values := make([]complex128, params.Slots())
+	for i := range values {
+		values[i] = complex(2*rng.Float64()-1, 2*rng.Float64()-1)
+	}
+	pt, _ := encoder.Encode(values, maxLvl, params.Scale)
+	ct0, _ := enc.EncryptNew(pt)
+	ct1, _ := enc.EncryptNew(pt)
+	prod := evaluator.MulRelin(ct0, ct1)
+	scratch := ctx.RingQ.NewPolyLevel(maxLvl)
+	ctx.RingQ.SampleUniform(rng, scratch, maxLvl)
+
+	// Reduced-degree bootstrap instance (same shape as the functional tests).
+	bctx, bt, bct, err := speedupBootSetup()
+	if err != nil {
+		fmt.Printf("bootstrap setup failed: %v\n", err)
+		return
+	}
+
+	type op struct {
+		name  string
+		iters int
+		run   func()
+	}
+	ops := []op{
+		{"NTT+iNTT (8 limbs)", 50, func() {
+			ctx.RingQ.NTT(scratch, maxLvl)
+			ctx.RingQ.INTT(scratch, maxLvl)
+		}},
+		{"HMult+relin", 20, func() { evaluator.MulRelin(ct0, ct1) }},
+		{"HRot", 20, func() { evaluator.Rotate(ct0, 1) }},
+		{"HRescale", 20, func() { evaluator.Rescale(prod) }},
+		{"Bootstrap (LogN=10)", 1, func() {
+			if _, err := bt.Bootstrap(bct); err != nil {
+				panic(err)
+			}
+		}},
+	}
+
+	time1 := func(o op) time.Duration {
+		o.run() // warm the scratch pools and permutation caches
+		start := time.Now()
+		for i := 0; i < o.iters; i++ {
+			o.run()
+		}
+		return time.Since(start) / time.Duration(o.iters)
+	}
+
+	setWorkers := func(n int) {
+		ctx.SetWorkers(n)
+		bctx.SetWorkers(n)
+	}
+
+	var cells [][]string
+	for _, o := range ops {
+		setWorkers(0)
+		serial := time1(o)
+		setWorkers(workers)
+		parallel := time1(o)
+		cells = append(cells, []string{
+			o.name,
+			fmt.Sprintf("%.3f", serial.Seconds()*1e3),
+			fmt.Sprintf("%.3f", parallel.Seconds()*1e3),
+			fmt.Sprintf("%.2fx", serial.Seconds()/parallel.Seconds()),
+		})
+	}
+	fmt.Print(eval.FormatTable(
+		[]string{"op", "serial ms", fmt.Sprintf("workers=%d ms", workers), "speedup"}, cells))
+}
+
+// speedupBootSetup builds the LogN=10 bootstrappable toy instance used by the
+// bootstrap row of the speedup table.
+func speedupBootSetup() (*ckks.Context, *ckks.Bootstrapper, *ckks.Ciphertext, error) {
+	logQ := []int{55}
+	for i := 0; i < 14; i++ {
+		logQ = append(logQ, 45)
+	}
+	params, err := ckks.NewParameters(ckks.ParametersLiteral{
+		LogN:     10,
+		LogQ:     logQ,
+		LogP:     55,
+		Dnum:     2,
+		LogScale: 45,
+		H:        8,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ctx, err := ckks.NewContext(params)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	kg := ckks.NewKeyGenerator(ctx, 7001)
+	sk := kg.GenSecretKey()
+	rlk := kg.GenRelinearizationKey(sk)
+	encoder := ckks.NewEncoder(ctx)
+
+	// Build the bootstrapper twice: first keyless to learn the rotations.
+	probe := ckks.NewEvaluator(ctx, encoder, rlk, nil)
+	bt0, err := ckks.NewBootstrapper(ctx, encoder, probe, ckks.DefaultBootstrapParams())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rtks := kg.GenRotationKeys(sk, bt0.Rotations(), true)
+	evaluator := ckks.NewEvaluator(ctx, encoder, rlk, rtks)
+	bt, err := ckks.NewBootstrapper(ctx, encoder, evaluator, ckks.DefaultBootstrapParams())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	enc := ckks.NewEncryptorSK(ctx, sk, 7002)
+	pt, _ := encoder.Encode([]complex128{0.25, -0.5}, 0, params.Scale)
+	ct, err := enc.EncryptNew(pt)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return ctx, bt, ct, nil
+}

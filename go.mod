@@ -1,0 +1,3 @@
+module bts
+
+go 1.24

@@ -185,20 +185,22 @@ func (bt *Bootstrapper) normalize(ct *Ciphertext) *Ciphertext {
 }
 
 // modRaise lifts a level-0 ciphertext to the full modulus chain by centering
-// each coefficient modulo q0 and re-reducing modulo every q_i.
+// each coefficient modulo q0 and re-reducing modulo every q_i. The centered
+// lift is computed once per polynomial; the per-limb re-reduction and forward
+// NTT then fan out across the execution engine (each limb only reads tmp).
 func (bt *Bootstrapper) modRaise(ct *Ciphertext) *Ciphertext {
 	rq := bt.ctx.RingQ
 	L := rq.MaxLevel()
 	out := bt.ctx.NewCiphertext(L, ct.Scale)
-	for pi, pair := range [][2]*ring.Poly{{ct.C0, out.C0}, {ct.C1, out.C1}} {
-		_ = pi
+	tmp := rq.GetRow()
+	defer rq.PutRow(tmp)
+	for _, pair := range [][2]*ring.Poly{{ct.C0, out.C0}, {ct.C1, out.C1}} {
 		src, dst := pair[0], pair[1]
-		tmp := make([]uint64, rq.N)
 		copy(tmp, src.Coeffs[0])
 		rq.INTTRow(tmp, 0)
 		q0 := rq.Moduli[0].Q
 		half := q0 >> 1
-		for i := 0; i <= L; i++ {
+		rq.ForEachLimb(L, func(i int) {
 			qi := rq.Moduli[i].Q
 			row := dst.Coeffs[i]
 			for j := 0; j < rq.N; j++ {
@@ -214,7 +216,7 @@ func (bt *Bootstrapper) modRaise(ct *Ciphertext) *Ciphertext {
 				}
 			}
 			rq.NTTRow(row, i)
-		}
+		})
 	}
 	return out
 }

@@ -183,7 +183,7 @@ func (ev *Evaluator) chebLinearCombo(coeffs []float64, basis map[int]*Ciphertext
 		if acc == nil {
 			acc = term
 		} else {
-			acc = ev.Add(acc, term)
+			ev.AddInPlace(acc, term)
 		}
 	}
 	if acc == nil {

@@ -60,6 +60,18 @@ func (ev *Evaluator) Add(ct0, ct1 *Ciphertext) *Ciphertext {
 	return out
 }
 
+// AddInPlace folds ct1 into ct0 (HAdd without allocating the output), the
+// accumulator form used by the linear-transform and Chebyshev inner loops.
+// ct0's level drops to the minimum of the two operands.
+func (ev *Evaluator) AddInPlace(ct0, ct1 *Ciphertext) {
+	lvl := alignLevels(ct0, ct1)
+	scale := checkScales(ct0.Scale, ct1.Scale, "AddInPlace")
+	ev.ctx.RingQ.Add(ct0.C0, ct1.C0, ct0.C0, lvl)
+	ev.ctx.RingQ.Add(ct0.C1, ct1.C1, ct0.C1, lvl)
+	ct0.Level = lvl
+	ct0.Scale = scale
+}
+
 // Sub returns ct0 - ct1.
 func (ev *Evaluator) Sub(ct0, ct1 *Ciphertext) *Ciphertext {
 	lvl := alignLevels(ct0, ct1)
@@ -114,7 +126,7 @@ func (ev *Evaluator) AddConst(ct *Ciphertext, c complex128) *Ciphertext {
 	im := int64(math.Round(imag(c) * ct.Scale))
 	if re != 0 {
 		// A constant polynomial has the same value in every NTT slot.
-		for i := 0; i <= ct.Level; i++ {
+		rq.ForEachLimb(ct.Level, func(i int) {
 			q := rq.Moduli[i].Q
 			var w uint64
 			if re >= 0 {
@@ -126,12 +138,12 @@ func (ev *Evaluator) AddConst(ct *Ciphertext, c complex128) *Ciphertext {
 			for j := range row {
 				row[j] = mod.Add(row[j], w, q)
 			}
-		}
+		})
 	}
 	if im != 0 {
-		mono := rq.NewPolyLevel(ct.Level)
-		one := rq.NewPolyLevel(ct.Level)
-		for i := 0; i <= ct.Level; i++ {
+		mono := rq.GetPolyNoZero()
+		one := rq.GetPolyNoZero()
+		rq.ForEachLimb(ct.Level, func(i int) {
 			q := rq.Moduli[i].Q
 			var w uint64
 			if im >= 0 {
@@ -143,9 +155,11 @@ func (ev *Evaluator) AddConst(ct *Ciphertext, c complex128) *Ciphertext {
 			for j := range row {
 				row[j] = w
 			}
-		}
+		})
 		rq.MulByMonomialNTT(one, rq.N/2, mono, ct.Level)
 		rq.Add(out.C0, mono, out.C0, ct.Level)
+		rq.PutPoly(one)
+		rq.PutPoly(mono)
 	}
 	return out
 }
@@ -163,16 +177,17 @@ func (ev *Evaluator) MulConst(ct *Ciphertext, c complex128, constScale float64) 
 	rq.MulScalarInt64(ct.C0, re, out.C0, lvl)
 	rq.MulScalarInt64(ct.C1, re, out.C1, lvl)
 	if im != 0 {
-		t0 := rq.NewPolyLevel(lvl)
-		t1 := rq.NewPolyLevel(lvl)
+		t0 := rq.GetPolyNoZero()
+		t1 := rq.GetPolyNoZero()
 		rq.MulByMonomialNTT(ct.C0, rq.N/2, t0, lvl)
 		rq.MulByMonomialNTT(ct.C1, rq.N/2, t1, lvl)
-		s0 := rq.NewPolyLevel(lvl)
-		s1 := rq.NewPolyLevel(lvl)
-		rq.MulScalarInt64(t0, im, s0, lvl)
-		rq.MulScalarInt64(t1, im, s1, lvl)
-		rq.Add(out.C0, s0, out.C0, lvl)
-		rq.Add(out.C1, s1, out.C1, lvl)
+		// Reuse the monomial scratch as the scaled term: s = im · t.
+		rq.MulScalarInt64(t0, im, t0, lvl)
+		rq.MulScalarInt64(t1, im, t1, lvl)
+		rq.Add(out.C0, t0, out.C0, lvl)
+		rq.Add(out.C1, t1, out.C1, lvl)
+		rq.PutPoly(t1)
+		rq.PutPoly(t0)
 	}
 	return out
 }
@@ -197,18 +212,25 @@ func (ev *Evaluator) MulRelin(ct0, ct1 *Ciphertext) *Ciphertext {
 	rq := ev.ctx.RingQ
 	lvl := alignLevels(ct0, ct1)
 
-	d0 := rq.NewPolyLevel(lvl)
-	d1 := rq.NewPolyLevel(lvl)
-	d2 := rq.NewPolyLevel(lvl)
+	d0 := rq.GetPolyNoZero()
+	d1 := rq.GetPolyNoZero()
+	d2 := rq.GetPolyNoZero()
 	rq.MulCoeffs(ct0.C0, ct1.C0, d0, lvl)
 	rq.MulCoeffs(ct0.C0, ct1.C1, d1, lvl)
 	rq.MulCoeffsAndAdd(ct0.C1, ct1.C0, d1, lvl)
 	rq.MulCoeffs(ct0.C1, ct1.C1, d2, lvl)
 
-	ks0, ks1 := ev.keySwitch(d2, lvl, ev.rlk)
+	ks0 := rq.GetPolyNoZero()
+	ks1 := rq.GetPolyNoZero()
+	ev.keySwitch(d2, lvl, ev.rlk, ks0, ks1)
 	out := ev.ctx.NewCiphertext(lvl, ct0.Scale*ct1.Scale)
 	rq.Add(d0, ks0, out.C0, lvl)
 	rq.Add(d1, ks1, out.C1, lvl)
+	rq.PutPoly(ks1)
+	rq.PutPoly(ks0)
+	rq.PutPoly(d2)
+	rq.PutPoly(d1)
+	rq.PutPoly(d0)
 	return out
 }
 
@@ -257,44 +279,59 @@ func (ev *Evaluator) automorphism(ct *Ciphertext, g uint64) *Ciphertext {
 	}
 	rq := ev.ctx.RingQ
 	lvl := ct.Level
-	rb := rq.NewPolyLevel(lvl)
-	ra := rq.NewPolyLevel(lvl)
+	rb := rq.GetPolyNoZero()
+	ra := rq.GetPolyNoZero()
 	rq.AutomorphismNTT(ct.C0, g, rb, lvl)
 	rq.AutomorphismNTT(ct.C1, g, ra, lvl)
-	ks0, ks1 := ev.keySwitch(ra, lvl, swk)
+	ks0 := rq.GetPolyNoZero()
+	ks1 := rq.GetPolyNoZero()
+	ev.keySwitch(ra, lvl, swk, ks0, ks1)
 	out := ev.ctx.NewCiphertext(lvl, ct.Scale)
 	rq.Add(rb, ks0, out.C0, lvl)
 	rq.CopyLevel(out.C1, ks1, lvl)
+	rq.PutPoly(ks1)
+	rq.PutPoly(ks0)
+	rq.PutPoly(ra)
+	rq.PutPoly(rb)
 	return out
 }
 
 // keySwitch recombines d (NTT domain, level lvl), decryptable under the
-// switching key's source secret, into a pair decryptable under s. This is
-// the pipeline of Fig. 3(a): per decomposition slice, iNTT → BConv (ModUp)
-// → NTT → multiply-accumulate with the evk, then a final ModDown dividing
-// by P (the subtraction-scaling-addition the paper fuses as SSA).
-func (ev *Evaluator) keySwitch(d *ring.Poly, lvl int, swk *SwitchingKey) (ks0, ks1 *ring.Poly) {
+// switching key's source secret, into the pair (ks0, ks1) decryptable under
+// s; the caller supplies ks0 and ks1 (typically from the scratch pool). This
+// is the pipeline of Fig. 3(a): per decomposition slice, iNTT → BConv
+// (ModUp) → NTT → multiply-accumulate with the evk, then a final ModDown
+// dividing by P (the subtraction-scaling-addition the paper fuses as SSA).
+// All scratch comes from the ring pools — key-switching is the hottest path
+// of the workload and must not allocate per call.
+func (ev *Evaluator) keySwitch(d *ring.Poly, lvl int, swk *SwitchingKey, ks0, ks1 *ring.Poly) {
 	ctx := ev.ctx
 	rq, rp := ctx.RingQ, ctx.RingP
 	lp := rp.MaxLevel()
 	beta := ctx.Params.Beta(lvl)
 
-	dCoeff := rq.CopyNew(d, lvl)
+	dCoeff := rq.GetPolyNoZero()
+	rq.CopyLevel(dCoeff, d, lvl)
 	rq.INTT(dCoeff, lvl)
 
-	accQ0 := rq.NewPolyLevel(lvl)
-	accQ1 := rq.NewPolyLevel(lvl)
-	accP0 := rp.NewPoly(lp + 1)
-	accP1 := rp.NewPoly(lp + 1)
+	accQ0 := rq.GetPoly(lvl)
+	accQ1 := rq.GetPoly(lvl)
+	accP0 := rp.GetPoly(lp)
+	accP1 := rp.GetPoly(lp)
 
-	tmpQ := rq.NewPolyLevel(lvl)
-	tmpP := rp.NewPoly(lp + 1)
+	// tmpQ/tmpP are fully overwritten each slice (copied rows + BConv
+	// output), so they skip the zeroing pass; only the accumulators above
+	// need zeroed memory. dst is the BConv target-row view, reused across
+	// slices.
+	tmpQ := rq.GetPolyNoZero()
+	tmpP := rp.GetPolyNoZero()
+	dst := make([][]uint64, 0, lvl+1+lp)
 
 	for j := 0; j < beta; j++ {
 		lo, hi := ctx.groupRange(j, lvl)
 		// ModUp: extend the slice's residues to the rest of the basis.
 		src := dCoeff.Coeffs[lo : hi+1]
-		dst := make([][]uint64, 0, lvl+1+lp)
+		dst = dst[:0]
 		for i := 0; i <= lvl; i++ {
 			if i < lo || i > hi {
 				dst = append(dst, tmpQ.Coeffs[i])
@@ -315,30 +352,37 @@ func (ev *Evaluator) keySwitch(d *ring.Poly, lvl int, swk *SwitchingKey) (ks0, k
 		rp.MulCoeffsAndAdd(tmpP, swk.Value[j][1].P, accP1, lp)
 	}
 
-	ks0 = ev.modDown(accQ0, accP0, lvl)
-	ks1 = ev.modDown(accQ1, accP1, lvl)
-	return ks0, ks1
+	ev.modDown(accQ0, accP0, lvl, ks0)
+	ev.modDown(accQ1, accP1, lvl, ks1)
+
+	rp.PutPoly(tmpP)
+	rq.PutPoly(tmpQ)
+	rp.PutPoly(accP1)
+	rp.PutPoly(accP0)
+	rq.PutPoly(accQ1)
+	rq.PutPoly(accQ0)
+	rq.PutPoly(dCoeff)
 }
 
-// modDown divides (accQ, accP) by P: BConv the P-part onto the q-basis,
-// subtract, and scale by P^-1 mod q_i (the 1/P step of Eq. 4).
-func (ev *Evaluator) modDown(accQ, accP *ring.Poly, lvl int) *ring.Poly {
+// modDown divides (accQ, accP) by P into out: BConv the P-part onto the
+// q-basis, subtract, and scale by P^-1 mod q_i (the 1/P step of Eq. 4). The
+// final fused subtract-scale runs limb-parallel with the cached Shoup
+// companions of P^-1.
+func (ev *Evaluator) modDown(accQ, accP *ring.Poly, lvl int, out *ring.Poly) {
 	ctx := ev.ctx
 	rq, rp := ctx.RingQ, ctx.RingP
 	lp := rp.MaxLevel()
 	rp.INTT(accP, lp)
-	tmp := rq.NewPolyLevel(lvl)
+	tmp := rq.GetPolyNoZero()
 	ctx.modDownExtender(lvl).Convert(accP.Coeffs, tmp.Coeffs)
 	rq.NTT(tmp, lvl)
-	out := rq.NewPolyLevel(lvl)
-	for i := 0; i <= lvl; i++ {
+	rq.ForEachLimb(lvl, func(i int) {
 		q := rq.Moduli[i].Q
-		pInv := ctx.pInvModQ[i]
-		pInvShoup := mod.ShoupPrecomp(pInv, q)
+		pInv, pInvShoup := ctx.pInvModQ[i], ctx.pInvModQShoup[i]
 		a, b, o := accQ.Coeffs[i], tmp.Coeffs[i], out.Coeffs[i]
 		for t := 0; t < rq.N; t++ {
 			o[t] = mod.MulShoup(mod.Sub(a[t], b[t], q), pInv, pInvShoup, q)
 		}
-	}
-	return out
+	})
+	rq.PutPoly(tmp)
 }

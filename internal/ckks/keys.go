@@ -176,7 +176,8 @@ func (kg *KeyGenerator) genSwitchingKey(sk *SecretKey, sPrime *ring.Poly) *Switc
 		rp.Add(bP, eP, bP, lp)
 
 		lo, hi := ctx.groupRange(j, lq)
-		for i := lo; i <= hi; i++ {
+		rq.ForEachLimb(hi-lo, func(k int) {
+			i := lo + k
 			q := rq.Moduli[i].Q
 			br := rq.Moduli[i].BRed
 			w := ctx.pModQ[i]
@@ -184,7 +185,7 @@ func (kg *KeyGenerator) genSwitchingKey(sk *SecretKey, sPrime *ring.Poly) *Switc
 			for t := 0; t < rq.N; t++ {
 				dst[t] = addMod(dst[t], br.Mul(w, src[t]), q)
 			}
-		}
+		})
 		swk.Value[j] = [2]PolyQP{{Q: bQ, P: bP}, {Q: aQ, P: aP}}
 	}
 	return swk
@@ -245,9 +246,9 @@ func (enc *Encryptor) EncryptNew(pt *Plaintext) (*Ciphertext, error) {
 	ct := ctx.NewCiphertext(lvl, pt.Scale)
 	switch {
 	case enc.sk != nil:
-		a := rq.NewPolyLevel(lvl)
+		a := rq.GetPolyNoZero()
 		rq.SampleUniform(enc.rng, a, lvl)
-		e := rq.NewPolyLevel(lvl)
+		e := rq.GetPolyNoZero()
 		rq.SampleGaussian(enc.rng, e, ctx.Params.Sigma, lvl)
 		rq.NTT(e, lvl)
 		rq.MulCoeffs(a, enc.sk.Value.Q, ct.C0, lvl)
@@ -255,12 +256,14 @@ func (enc *Encryptor) EncryptNew(pt *Plaintext) (*Ciphertext, error) {
 		rq.Add(ct.C0, e, ct.C0, lvl)
 		rq.Add(ct.C0, pt.Value, ct.C0, lvl)
 		rq.CopyLevel(ct.C1, a, lvl)
+		rq.PutPoly(e)
+		rq.PutPoly(a)
 	case enc.pk != nil:
-		u := rq.NewPolyLevel(lvl)
+		u := rq.GetPolyNoZero()
 		rq.SampleTernarySparse(enc.rng, u, ctx.Params.H, lvl)
 		rq.NTT(u, lvl)
-		e0 := rq.NewPolyLevel(lvl)
-		e1 := rq.NewPolyLevel(lvl)
+		e0 := rq.GetPolyNoZero()
+		e1 := rq.GetPolyNoZero()
 		rq.SampleGaussian(enc.rng, e0, ctx.Params.Sigma, lvl)
 		rq.SampleGaussian(enc.rng, e1, ctx.Params.Sigma, lvl)
 		rq.NTT(e0, lvl)
@@ -270,6 +273,9 @@ func (enc *Encryptor) EncryptNew(pt *Plaintext) (*Ciphertext, error) {
 		rq.Add(ct.C0, pt.Value, ct.C0, lvl)
 		rq.MulCoeffs(enc.pk.Value[1], u, ct.C1, lvl)
 		rq.Add(ct.C1, e1, ct.C1, lvl)
+		rq.PutPoly(e1)
+		rq.PutPoly(e0)
+		rq.PutPoly(u)
 	default:
 		return nil, fmt.Errorf("ckks: encryptor has neither secret nor public key")
 	}

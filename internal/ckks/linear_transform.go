@@ -135,7 +135,9 @@ func (ev *Evaluator) LinearTransform(ct *Ciphertext, lt *LinearTransform) *Ciphe
 			if inner == nil {
 				inner = term
 			} else {
-				inner = ev.Add(inner, term)
+				// term is freshly allocated by MulPlain, so the accumulation
+				// can fold in place instead of allocating per diagonal.
+				ev.AddInPlace(inner, term)
 			}
 		}
 		if g != 0 {
@@ -144,7 +146,7 @@ func (ev *Evaluator) LinearTransform(ct *Ciphertext, lt *LinearTransform) *Ciphe
 		if out == nil {
 			out = inner
 		} else {
-			out = ev.Add(out, inner)
+			ev.AddInPlace(out, inner)
 		}
 	}
 	return out

@@ -1,0 +1,180 @@
+package ckks
+
+import (
+	"math/rand"
+	"runtime"
+	"strconv"
+	"testing"
+)
+
+// equalCT reports whether two ciphertexts (possibly from different contexts
+// over identical prime chains) are bit-identical.
+func equalCT(t *testing.T, ctx *Context, a, b *Ciphertext) {
+	t.Helper()
+	if a.Level != b.Level {
+		t.Fatalf("levels differ: %d vs %d", a.Level, b.Level)
+	}
+	if a.Scale != b.Scale {
+		t.Fatalf("scales differ: %g vs %g", a.Scale, b.Scale)
+	}
+	if !ctx.RingQ.Equal(a.C0, b.C0, a.Level) || !ctx.RingQ.Equal(a.C1, b.C1, a.Level) {
+		t.Fatal("ciphertext residues differ between serial and parallel execution")
+	}
+}
+
+// parallelPair builds two identical setups over the same (deterministically
+// generated) prime chain: one serial, one with workers > 1.
+func parallelPair(t *testing.T, workers int) (serial, parallel *testSetup) {
+	t.Helper()
+	serial = newTestSetup(t, 2, []int{1, 2, 4})
+	serial.ctx.SetWorkers(0)
+	parallel = newTestSetup(t, 2, []int{1, 2, 4})
+	parallel.ctx.SetWorkers(workers)
+	return serial, parallel
+}
+
+// TestEvaluatorParallelEquivalence runs a representative homomorphic circuit
+// on a serial and a 4-worker context and demands bit-identical ciphertexts at
+// every step: the engine must be a pure throughput dial.
+func TestEvaluatorParallelEquivalence(t *testing.T) {
+	s, p := parallelPair(t, 4)
+	if got := p.ctx.Workers(); got != 4 {
+		t.Fatalf("parallel context reports %d workers, want 4", got)
+	}
+	if got := s.ctx.Workers(); got != 0 {
+		t.Fatalf("serial context reports %d workers, want 0", got)
+	}
+
+	rng := rand.New(rand.NewSource(77))
+	v0 := randomComplex(rng, s.params.Slots(), 1)
+	v1 := randomComplex(rng, s.params.Slots(), 1)
+
+	run := func(ts *testSetup) []*Ciphertext {
+		lvl := ts.params.MaxLevel()
+		pt0, _ := ts.encoder.Encode(v0, lvl, ts.params.Scale)
+		pt1, _ := ts.encoder.Encode(v1, lvl, ts.params.Scale)
+		ct0, _ := ts.enc.EncryptNew(pt0)
+		ct1, _ := ts.enc.EncryptNew(pt1)
+		prod := ts.eval.Rescale(ts.eval.MulRelin(ct0, ct1))
+		rot := ts.eval.Rotate(prod, 2)
+		conj := ts.eval.Conjugate(rot)
+		sum := ts.eval.Add(rot, conj)
+		cmul := ts.eval.Rescale(ts.eval.MulConst(sum, complex(0.5, -0.25), ts.params.Scale))
+		cadd := ts.eval.AddConst(cmul, complex(-1.25, 0.5))
+		sq := ts.eval.Rescale(ts.eval.Square(cadd))
+		return []*Ciphertext{ct0, ct1, prod, rot, conj, sum, cmul, cadd, sq}
+	}
+	outS := run(s)
+	outP := run(p)
+	for i := range outS {
+		equalCT(t, s.ctx, outS[i], outP[i])
+	}
+
+	// Close releases the private engine and reverts to the shared pool; the
+	// context stays usable and still matches serial. (Both encryptor RNGs
+	// advanced identically above, so second runs are comparable to each
+	// other, not to the first.)
+	p.ctx.Close()
+	outS2 := run(s)
+	outP2 := run(p)
+	for i := range outS2 {
+		equalCT(t, s.ctx, outS2[i], outP2[i])
+	}
+}
+
+// TestLinearTransformParallelEquivalence covers the BSGS path (and with it
+// the AddInPlace accumulators) under both engines.
+func TestLinearTransformParallelEquivalence(t *testing.T) {
+	s, p := parallelPair(t, 3)
+	rng := rand.New(rand.NewSource(78))
+	n := s.params.Slots()
+	v := randomComplex(rng, n, 1)
+	diags := MatrixFromFunc(n, func(r, c int) complex128 {
+		return complex(float64(1+(r+2*c)%5)/5, float64(r%3)/3)
+	}, 0)
+
+	run := func(ts *testSetup) *Ciphertext {
+		lvl := ts.params.MaxLevel()
+		lt, err := NewLinearTransform(ts.encoder, diags, lvl, ts.params.Scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rtks := ts.kg.GenRotationKeys(ts.sk, lt.Rotations(), true)
+		ev := NewEvaluator(ts.ctx, ts.encoder, ts.rlk, rtks)
+		pt, _ := ts.encoder.Encode(v, lvl, ts.params.Scale)
+		ct, _ := ts.enc.EncryptNew(pt)
+		return ev.LinearTransform(ct, lt)
+	}
+	equalCT(t, s.ctx, run(s), run(p))
+}
+
+// TestBootstrapParallelEquivalence is the end-to-end check of the issue's
+// acceptance criteria: a full small-N bootstrap with workers > 1 must be
+// bit-identical to the serial pipeline.
+func TestBootstrapParallelEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bootstrap equivalence skipped with -short")
+	}
+	rng := rand.New(rand.NewSource(79))
+	var ref *Ciphertext
+	var refCtx *Context
+	values := randomComplex(rng, 1<<9, 0.7)
+	for _, workers := range []int{0, 4} {
+		s, bt := bootSetup(t)
+		s.ctx.SetWorkers(workers)
+		pt, _ := s.encoder.Encode(values, 0, s.params.Scale)
+		ct, err := s.enc.EncryptNew(pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := bt.Bootstrap(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref, refCtx = out, s.ctx
+			continue
+		}
+		equalCT(t, refCtx, ref, out)
+	}
+}
+
+// --- Benchmarks: serial vs NumCPU workers on the key-switching hot path ----
+
+func benchWorkersName(workers int) string {
+	if workers == 0 {
+		return "workers=serial"
+	}
+	return "workers=" + strconv.Itoa(workers)
+}
+
+func BenchmarkHMultRelinWorkers(b *testing.B) {
+	for _, workers := range []int{0, runtime.NumCPU()} {
+		s, ct0, ct1 := benchSetup(b)
+		s.ctx.SetWorkers(workers)
+		b.Run(benchWorkersName(workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s.eval.MulRelin(ct0, ct1)
+			}
+		})
+	}
+}
+
+func BenchmarkBootstrapWorkers(b *testing.B) {
+	if testing.Short() {
+		b.Skip("bootstrapping bench skipped with -short")
+	}
+	for _, workers := range []int{0, runtime.NumCPU()} {
+		s, bt := bootSetup(b)
+		s.ctx.SetWorkers(workers)
+		pt, _ := s.encoder.Encode([]complex128{0.25, -0.5}, 0, s.params.Scale)
+		ct, _ := s.enc.EncryptNew(pt)
+		b.Run(benchWorkersName(workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bt.Bootstrap(ct); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -159,20 +159,27 @@ func NewParameters(lit ParametersLiteral) (Parameters, error) {
 
 // Context carries the rings and cached conversion tables for a parameter set.
 // It is the entry point for building encoders, key generators, encryptors and
-// evaluators.
+// evaluators. One execution engine (a limb-parallel worker pool, see
+// ring.Engine) is shared by the q-ring, the p-ring, and every cached
+// BasisExtender; SetWorkers swaps it for the whole context at once.
 type Context struct {
 	Params Parameters
 	RingQ  *ring.Ring // R over the q-chain
 	RingP  *ring.Ring // R over the special p-chain
 
-	pModQ    []uint64 // [P]_{q_i}, used when generating switching keys
-	pInvModQ []uint64 // [P^-1]_{q_i}, used by ModDown
+	pModQ         []uint64 // [P]_{q_i}, used when generating switching keys
+	pInvModQ      []uint64 // [P^-1]_{q_i}, used by ModDown
+	pInvModQShoup []uint64 // Shoup companions of pInvModQ
 
 	modUpCache   map[[2]int]*ring.BasisExtender // (group j, level) → extender
 	modDownCache map[int]*ring.BasisExtender    // level → extender P→C_level
+
+	engine *ring.Engine
 }
 
-// NewContext builds the rings and precomputed tables for params.
+// NewContext builds the rings and precomputed tables for params. The context
+// starts on the process-wide shared engine (GOMAXPROCS workers); call
+// SetWorkers to pick a specific worker count or to force serial execution.
 func NewContext(params Parameters) (*Context, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
@@ -191,9 +198,11 @@ func NewContext(params Parameters) (*Context, error) {
 		RingP:        rp,
 		modUpCache:   make(map[[2]int]*ring.BasisExtender),
 		modDownCache: make(map[int]*ring.BasisExtender),
+		engine:       ring.DefaultEngine(),
 	}
 	ctx.pModQ = make([]uint64, len(params.Q))
 	ctx.pInvModQ = make([]uint64, len(params.Q))
+	ctx.pInvModQShoup = make([]uint64, len(params.Q))
 	for i, q := range params.Q {
 		pm := uint64(1)
 		for _, pj := range params.P {
@@ -201,8 +210,55 @@ func NewContext(params Parameters) (*Context, error) {
 		}
 		ctx.pModQ[i] = pm
 		ctx.pInvModQ[i] = mod.Inv(pm, q)
+		ctx.pInvModQShoup[i] = mod.ShoupPrecomp(ctx.pInvModQ[i], q)
 	}
 	return ctx, nil
+}
+
+// SetWorkers rebuilds the context's execution engine with the given worker
+// count and attaches it to both rings and every cached basis extender.
+// n <= 1 (and in particular 0) selects the serial fallback; by default a
+// fresh context runs on GOMAXPROCS workers. Must not be called concurrently
+// with homomorphic operations on this context.
+func (ctx *Context) SetWorkers(n int) {
+	old := ctx.engine
+	ctx.engine = ring.NewEngine(n)
+	ctx.RingQ.SetEngine(ctx.engine)
+	ctx.RingP.SetEngine(ctx.engine)
+	for _, be := range ctx.modUpCache {
+		be.SetEngine(ctx.engine)
+	}
+	for _, be := range ctx.modDownCache {
+		be.SetEngine(ctx.engine)
+	}
+	if old != nil && old != ring.DefaultEngine() {
+		old.Close()
+	}
+}
+
+// Workers reports the context's effective worker count (0 = serial).
+func (ctx *Context) Workers() int { return ctx.engine.Workers() }
+
+// Close releases the worker goroutines of a private engine installed by
+// SetWorkers, reverting the context to the shared default engine. Call it
+// when discarding a context that used SetWorkers in a long-lived process;
+// the context remains usable (serially shared-pool) afterwards. Closing a
+// context that never called SetWorkers is a no-op.
+func (ctx *Context) Close() {
+	old := ctx.engine
+	if old == ring.DefaultEngine() {
+		return
+	}
+	ctx.engine = ring.DefaultEngine()
+	ctx.RingQ.SetEngine(ctx.engine)
+	ctx.RingP.SetEngine(ctx.engine)
+	for _, be := range ctx.modUpCache {
+		be.SetEngine(ctx.engine)
+	}
+	for _, be := range ctx.modDownCache {
+		be.SetEngine(ctx.engine)
+	}
+	old.Close()
 }
 
 // groupRange returns the q-prime index range [lo,hi] of decomposition group j
@@ -238,6 +294,7 @@ func (ctx *Context) modUpExtender(j, level int) *ring.BasisExtender {
 	if err != nil {
 		panic(fmt.Sprintf("ckks: modUpExtender(%d,%d): %v", j, level, err))
 	}
+	be.SetEngine(ctx.engine)
 	ctx.modUpCache[key] = be
 	return be
 }
@@ -252,6 +309,7 @@ func (ctx *Context) modDownExtender(level int) *ring.BasisExtender {
 	if err != nil {
 		panic(fmt.Sprintf("ckks: modDownExtender(%d): %v", level, err))
 	}
+	be.SetEngine(ctx.engine)
 	ctx.modDownCache[level] = be
 	return be
 }

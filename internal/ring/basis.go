@@ -3,6 +3,7 @@ package ring
 import (
 	"fmt"
 	"math/big"
+	"sync"
 
 	"bts/internal/mod"
 )
@@ -15,17 +16,31 @@ import (
 //
 // The first stage multiplies each source residue by (Q/q_j)^-1 mod q_j (the
 // BConvU's ModMult in Section 5.2); the second stage is the coefficient-wise
-// multiply-accumulate Σ_j [..]·(Q/q_j) mod p_i (the MMAU).
+// multiply-accumulate Σ_j [..]·(Q/q_j) mod p_i (the MMAU). Both stages fan
+// out across the attached execution engine — stage 1 over source limbs,
+// stage 2 over target limbs — and the stage-1 intermediates live in a
+// sync.Pool so repeated conversions allocate nothing.
 type BasisExtender struct {
 	from, to []*Modulus
 
 	qhatInv      []uint64   // [(Q/q_j)^-1]_{q_j}
 	qhatInvShoup []uint64   // Shoup companions for the first stage
 	qhatTo       [][]uint64 // qhatTo[j][i] = [Q/q_j] mod to[i].Q
+
+	exec    *Engine
+	scratch sync.Pool // *convScratch, the stage-1 rows
+}
+
+// convScratch is a pooled block of len(from) stage-1 rows backed by one
+// contiguous buffer.
+type convScratch struct {
+	backing []uint64
+	rows    [][]uint64
 }
 
 // NewBasisExtender precomputes the conversion tables from the source to the
-// target base. The bases must be disjoint prime sets.
+// target base. The bases must be disjoint prime sets. The extender starts on
+// the shared DefaultEngine; use SetEngine to attach a specific pool.
 func NewBasisExtender(from, to []*Modulus) (*BasisExtender, error) {
 	if len(from) == 0 || len(to) == 0 {
 		return nil, fmt.Errorf("ring: empty basis in BasisExtender")
@@ -49,6 +64,7 @@ func NewBasisExtender(from, to []*Modulus) (*BasisExtender, error) {
 		qhatInv:      make([]uint64, len(from)),
 		qhatInvShoup: make([]uint64, len(from)),
 		qhatTo:       make([][]uint64, len(from)),
+		exec:         DefaultEngine(),
 	}
 	tmp := new(big.Int)
 	for j, m := range from {
@@ -65,6 +81,22 @@ func NewBasisExtender(from, to []*Modulus) (*BasisExtender, error) {
 	return be, nil
 }
 
+// SetEngine attaches an execution engine (nil reverts to serial). Ownership
+// stays with the caller, exactly as for Ring.SetEngine.
+func (be *BasisExtender) SetEngine(e *Engine) { be.exec = e }
+
+// getScratch borrows a stage-1 block with nf rows of length n.
+func (be *BasisExtender) getScratch(nf, n int) *convScratch {
+	s, _ := be.scratch.Get().(*convScratch)
+	if s == nil || cap(s.backing) < nf*n {
+		s = &convScratch{backing: make([]uint64, nf*n), rows: make([][]uint64, nf)}
+	}
+	for j := 0; j < nf; j++ {
+		s.rows[j] = s.backing[j*n : (j+1)*n : (j+1)*n]
+	}
+	return s
+}
+
 // Convert performs the base conversion on coefficient-domain rows. in must
 // hold len(from) rows; out receives len(to) rows. Rows are length-N slices.
 func (be *BasisExtender) Convert(in, out [][]uint64) {
@@ -73,20 +105,20 @@ func (be *BasisExtender) Convert(in, out [][]uint64) {
 		panic("ring: BasisExtender.Convert: row count mismatch")
 	}
 	n := len(in[0])
-	// Stage 1: y_j = [x_j * (Q/q_j)^-1]_{q_j}.
-	stage1 := make([][]uint64, nf)
-	for j := 0; j < nf; j++ {
+	scratch := be.getScratch(nf, n)
+	stage1 := scratch.rows[:nf]
+	// Stage 1: y_j = [x_j * (Q/q_j)^-1]_{q_j}, one source limb per task.
+	be.exec.Run(nf, func(j int) {
 		q := be.from[j].Q
 		w, ws := be.qhatInv[j], be.qhatInvShoup[j]
-		row := make([]uint64, n)
-		src := in[j]
+		row, src := stage1[j], in[j]
 		for k := 0; k < n; k++ {
 			row[k] = mod.MulShoup(src[k], w, ws, q)
 		}
-		stage1[j] = row
-	}
-	// Stage 2: out_i = Σ_j y_j * [Q/q_j]_{p_i} (coefficient-wise MAC).
-	for i := 0; i < nt; i++ {
+	})
+	// Stage 2: out_i = Σ_j y_j * [Q/q_j]_{p_i} (coefficient-wise MAC), one
+	// target limb per task; every task reads all stage-1 rows.
+	be.exec.Run(nt, func(i int) {
 		br := be.to[i].BRed
 		qi := be.to[i].Q
 		dst := out[i]
@@ -102,13 +134,16 @@ func (be *BasisExtender) Convert(in, out [][]uint64) {
 				dst[k] = mod.Add(dst[k], br.Mul(src[k], w), qi)
 			}
 		}
-	}
+	})
+	be.scratch.Put(scratch)
 }
 
 // DivRoundByLastModulusNTT divides p (rows [0..level], NTT domain) by the
 // last prime q_level with rounding and drops that row: the HRescale
 // operation of Section 2.4. On return, rows [0..level-1] hold the rescaled
-// polynomial in the NTT domain.
+// polynomial in the NTT domain. The shared centered lift of the dropped limb
+// is computed once; the per-limb correction then fans out across the engine
+// with pooled per-worker scratch rows.
 func (r *Ring) DivRoundByLastModulusNTT(p *Poly, level int) {
 	if level == 0 {
 		panic("ring: cannot rescale below level 0")
@@ -118,7 +153,8 @@ func (r *Ring) DivRoundByLastModulusNTT(p *Poly, level int) {
 	half := qL >> 1
 
 	// Bring the dropped residue to the coefficient domain.
-	last := make([]uint64, r.N)
+	last := r.GetRow()
+	defer r.PutRow(last)
 	copy(last, p.Coeffs[level])
 	r.inttRow(last, mL)
 
@@ -128,8 +164,9 @@ func (r *Ring) DivRoundByLastModulusNTT(p *Poly, level int) {
 		last[j] = mod.Add(last[j], half, qL)
 	}
 
-	tmp := make([]uint64, r.N)
-	for i := 0; i < level; i++ {
+	r.exec.Run(level, func(i int) {
+		tmp := r.GetRow()
+		defer r.PutRow(tmp)
 		mi := r.Moduli[i]
 		qi := mi.Q
 		halfModQi := mi.BRed.Reduce(half)
@@ -143,5 +180,5 @@ func (r *Ring) DivRoundByLastModulusNTT(p *Poly, level int) {
 		for j := 0; j < r.N; j++ {
 			row[j] = mod.MulShoup(mod.Sub(row[j], tmp[j], qi), qInv, qInvShoup, qi)
 		}
-	}
+	})
 }

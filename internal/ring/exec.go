@@ -1,0 +1,208 @@
+package ring
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Engine is the limb-parallel execution engine of the software reproduction:
+// a fixed pool of worker goroutines that fans residue-polynomial-indexed tasks
+// out across cores. It is the CPU analogue of the BTS PE grid distributing
+// limbs over lanes (Section 4.1): every kernel in this package is expressed as
+// an independent job per RNS limb and dispatched through an Engine.
+//
+// An Engine with fewer than two workers executes everything inline on the
+// calling goroutine (the serial fallback); the zero value of *Engine (nil) is
+// likewise serial. Engines are safe for concurrent use and may be shared by
+// several Rings — the ckks Context shares one Engine between its q- and
+// p-chain rings and all of its BasisExtenders.
+type Engine struct {
+	workers int
+	jobs    chan func()
+	close   sync.Once
+}
+
+// NewEngine returns an engine with the given worker count. workers <= 1
+// yields a serial engine with no goroutines; NewEngine never defaults the
+// count — use DefaultEngine for the GOMAXPROCS-sized shared instance.
+func NewEngine(workers int) *Engine {
+	e := &Engine{workers: workers}
+	if workers > 1 {
+		// The jobs channel is deliberately unbuffered: a dispatch hands a
+		// task to a worker only if one is parked in receive, and otherwise
+		// runs the task inline. This keeps the calling goroutine always
+		// making progress, so nested dispatches cannot deadlock the pool.
+		e.jobs = make(chan func())
+		for i := 0; i < workers; i++ {
+			go func() {
+				for f := range e.jobs {
+					f()
+				}
+			}()
+		}
+	}
+	return e
+}
+
+var defaultEngine struct {
+	once sync.Once
+	e    *Engine
+}
+
+// DefaultEngine returns the process-wide shared engine, created on first use
+// with runtime.GOMAXPROCS(0) workers. NewRing attaches it by default, so all
+// rings share one worker pool unless given a private engine via SetWorkers.
+func DefaultEngine() *Engine {
+	defaultEngine.once.Do(func() {
+		defaultEngine.e = NewEngine(runtime.GOMAXPROCS(0))
+	})
+	return defaultEngine.e
+}
+
+// Workers reports the engine's worker count (0 for a nil/serial engine).
+func (e *Engine) Workers() int {
+	if e == nil || e.workers <= 1 {
+		return 0
+	}
+	return e.workers
+}
+
+// Close terminates the worker goroutines. The engine must not be dispatched
+// to afterwards. Closing a serial engine (or the same engine twice) is a
+// no-op; the shared DefaultEngine should never be closed.
+func (e *Engine) Close() {
+	if e == nil || e.jobs == nil {
+		return
+	}
+	e.close.Do(func() { close(e.jobs) })
+}
+
+// Run executes fn(0) .. fn(n-1), fanning the calls out across the worker
+// pool. The calls must be independent (every ring kernel dispatched this way
+// touches a disjoint residue row per index, so results are bit-identical to
+// serial execution regardless of schedule). Run returns when all n calls have
+// completed. With a serial engine it is a plain loop.
+func (e *Engine) Run(n int, fn func(i int)) {
+	if e == nil || e.workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		task := func() {
+			defer wg.Done()
+			fn(i)
+		}
+		select {
+		case e.jobs <- task:
+		default:
+			// No worker free right now: run the limb on the caller.
+			task()
+		}
+	}
+	wg.Wait()
+}
+
+// SetEngine attaches an execution engine to the ring (nil reverts to serial).
+// The caller keeps ownership of e; a private engine previously installed by
+// SetWorkers is closed so its goroutines don't leak.
+func (r *Ring) SetEngine(e *Engine) {
+	r.dropOwnedEngine()
+	r.exec = e
+}
+
+// Exec returns the engine the ring currently dispatches through.
+func (r *Ring) Exec() *Engine { return r.exec }
+
+// SetWorkers gives the ring a private engine with the given worker count
+// (<= 1 means serial), closing any previous private one. Prefer sharing one
+// Engine across rings via SetEngine when several rings are in play;
+// ckks.Context does this automatically.
+func (r *Ring) SetWorkers(n int) {
+	r.dropOwnedEngine()
+	r.exec = NewEngine(n)
+	r.ownsExec = true
+}
+
+func (r *Ring) dropOwnedEngine() {
+	if r.ownsExec {
+		r.exec.Close()
+		r.ownsExec = false
+	}
+}
+
+// Workers reports the ring's effective worker count (0 = serial).
+func (r *Ring) Workers() int { return r.exec.Workers() }
+
+// ForEachLimb runs fn once per active limb index 0..level through the ring's
+// engine. fn must treat each limb independently; higher layers (ckks) use
+// this to parallelize their own custom limb loops with the same pool.
+func (r *Ring) ForEachLimb(level int, fn func(i int)) { r.exec.Run(level+1, fn) }
+
+// --- Scratch pools ----------------------------------------------------------
+//
+// Hot operations must not allocate: a single HMult at paper scale touches
+// dozens of temporary polynomials, and per-call make() both thrashes the
+// allocator and defeats cache residency (the scratchpad discipline of
+// Section 4.2). Each ring owns a sync.Pool of full-chain polynomials and a
+// pool of single residue rows; operations borrow with GetPoly/getRow and
+// return with PutPoly/putRow.
+
+// GetPoly borrows a polynomial usable up to the given level from the ring's
+// scratch pool. Rows 0..level are zeroed, so the result can serve directly as
+// an accumulator. The polynomial always carries len(r.Moduli) rows; callers
+// must only touch rows 0..level and must return it with PutPoly when done.
+func (r *Ring) GetPoly(level int) *Poly {
+	p, _ := r.polyPool.Get().(*Poly)
+	if p == nil {
+		return r.NewPoly(len(r.Moduli)) // fresh memory is already zero
+	}
+	r.Zero(p, level)
+	return p
+}
+
+// GetPolyNoZero is GetPoly without the zeroing pass: row contents are
+// undefined. Use it when every active row is fully overwritten before being
+// read (the common case — transforms, permutations, element-wise outputs);
+// reserve GetPoly for accumulators. Return with PutPoly.
+func (r *Ring) GetPolyNoZero() *Poly {
+	if p, _ := r.polyPool.Get().(*Poly); p != nil {
+		return p
+	}
+	return r.NewPoly(len(r.Moduli))
+}
+
+// PutPoly returns a polynomial borrowed with GetPoly to the pool. The caller
+// must not retain any reference to it. Putting a polynomial not sized to the
+// full modulus chain (e.g. one from NewPolyLevel) is a programming error and
+// panics, since a later GetPoly would hand out too few rows.
+func (r *Ring) PutPoly(p *Poly) {
+	if p == nil {
+		return
+	}
+	if len(p.Coeffs) != len(r.Moduli) {
+		panic("ring: PutPoly of a polynomial not sized to the full chain")
+	}
+	r.polyPool.Put(p)
+}
+
+// GetRow borrows one length-N coefficient row (contents undefined) from the
+// ring's row pool. Return it with PutRow.
+func (r *Ring) GetRow() []uint64 {
+	if v, _ := r.rowPool.Get().(*[]uint64); v != nil {
+		return *v
+	}
+	return make([]uint64, r.N)
+}
+
+// PutRow returns a row borrowed with GetRow.
+func (r *Ring) PutRow(row []uint64) {
+	if len(row) != r.N {
+		panic("ring: PutRow of a row with the wrong length")
+	}
+	r.rowPool.Put(&row)
+}

@@ -10,19 +10,21 @@ import "bts/internal/mod"
 // The implementation is the standard in-place Cooley–Tukey decimation-in-time
 // network with twiddle factors stored in bit-reversed order, i.e. the exact
 // butterfly the paper's NTTU executes (Butterfly_NTT: X' = X+W·Y, Y' = X-W·Y).
+// Each residue row is an independent transform, so the rows are fanned out
+// across the ring's execution engine (the paper's limb-level parallelism).
 func (r *Ring) NTT(p *Poly, level int) {
-	for i := 0; i <= level; i++ {
+	r.exec.Run(level+1, func(i int) {
 		r.nttRow(p.Coeffs[i], r.Moduli[i])
-	}
+	})
 }
 
 // INTT transforms rows [0..level] of p in place from the NTT domain back to
 // the coefficient domain (Butterfly_iNTT: X' = X+Y, Y' = (X-Y)·W^-1, followed
-// by scaling with N^-1).
+// by scaling with N^-1), limb-parallel like NTT.
 func (r *Ring) INTT(p *Poly, level int) {
-	for i := 0; i <= level; i++ {
+	r.exec.Run(level+1, func(i int) {
 		r.inttRow(p.Coeffs[i], r.Moduli[i])
-	}
+	})
 }
 
 // NTTRow transforms a single residue polynomial at prime index i.

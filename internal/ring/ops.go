@@ -7,68 +7,73 @@ import (
 	"bts/internal/mod"
 )
 
+// Every element-wise kernel below operates on one residue row per RNS limb
+// with no cross-limb dependency, so each dispatches its limb loop through the
+// ring's execution engine (see exec.go) — the software analogue of the
+// paper's element-wise functions running across the PE grid.
+
 // Add sets out = a + b element-wise on rows [0..level].
 func (r *Ring) Add(a, b, out *Poly, level int) {
-	for i := 0; i <= level; i++ {
+	r.exec.Run(level+1, func(i int) {
 		q := r.Moduli[i].Q
 		ra, rb, ro := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
 		for j := 0; j < r.N; j++ {
 			ro[j] = mod.Add(ra[j], rb[j], q)
 		}
-	}
+	})
 }
 
 // Sub sets out = a - b element-wise on rows [0..level].
 func (r *Ring) Sub(a, b, out *Poly, level int) {
-	for i := 0; i <= level; i++ {
+	r.exec.Run(level+1, func(i int) {
 		q := r.Moduli[i].Q
 		ra, rb, ro := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
 		for j := 0; j < r.N; j++ {
 			ro[j] = mod.Sub(ra[j], rb[j], q)
 		}
-	}
+	})
 }
 
 // Neg sets out = -a element-wise on rows [0..level].
 func (r *Ring) Neg(a, out *Poly, level int) {
-	for i := 0; i <= level; i++ {
+	r.exec.Run(level+1, func(i int) {
 		q := r.Moduli[i].Q
 		ra, ro := a.Coeffs[i], out.Coeffs[i]
 		for j := 0; j < r.N; j++ {
 			ro[j] = mod.Neg(ra[j], q)
 		}
-	}
+	})
 }
 
 // MulCoeffs sets out = a ⊙ b element-wise on rows [0..level]. In the NTT
 // domain this is polynomial multiplication.
 func (r *Ring) MulCoeffs(a, b, out *Poly, level int) {
-	for i := 0; i <= level; i++ {
+	r.exec.Run(level+1, func(i int) {
 		br := r.Moduli[i].BRed
 		ra, rb, ro := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
 		for j := 0; j < r.N; j++ {
 			ro[j] = br.Mul(ra[j], rb[j])
 		}
-	}
+	})
 }
 
 // MulCoeffsAndAdd sets out += a ⊙ b element-wise on rows [0..level]; this is
 // the modular multiply-accumulate the paper's MMAU performs.
 func (r *Ring) MulCoeffsAndAdd(a, b, out *Poly, level int) {
-	for i := 0; i <= level; i++ {
+	r.exec.Run(level+1, func(i int) {
 		br := r.Moduli[i].BRed
 		q := r.Moduli[i].Q
 		ra, rb, ro := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
 		for j := 0; j < r.N; j++ {
 			ro[j] = mod.Add(ro[j], br.Mul(ra[j], rb[j]), q)
 		}
-	}
+	})
 }
 
 // MulScalar sets out = a * s element-wise on rows [0..level] for a uint64
 // scalar s (reduced per prime).
 func (r *Ring) MulScalar(a *Poly, s uint64, out *Poly, level int) {
-	for i := 0; i <= level; i++ {
+	r.exec.Run(level+1, func(i int) {
 		m := r.Moduli[i]
 		w := m.BRed.Reduce(s)
 		ws := mod.ShoupPrecomp(w, m.Q)
@@ -76,13 +81,13 @@ func (r *Ring) MulScalar(a *Poly, s uint64, out *Poly, level int) {
 		for j := 0; j < r.N; j++ {
 			ro[j] = mod.MulShoup(ra[j], w, ws, m.Q)
 		}
-	}
+	})
 }
 
-// MulScalarBigCentered multiplies rows [0..level] by a signed scalar given as
+// MulScalarInt64 multiplies rows [0..level] by a signed scalar given as
 // int64 (used to fold plaintext constants into polynomials).
 func (r *Ring) MulScalarInt64(a *Poly, s int64, out *Poly, level int) {
-	for i := 0; i <= level; i++ {
+	r.exec.Run(level+1, func(i int) {
 		m := r.Moduli[i]
 		var w uint64
 		if s >= 0 {
@@ -95,21 +100,26 @@ func (r *Ring) MulScalarInt64(a *Poly, s int64, out *Poly, level int) {
 		for j := 0; j < r.N; j++ {
 			ro[j] = mod.MulShoup(ra[j], w, ws, m.Q)
 		}
-	}
+	})
 }
 
 // GaloisElement returns 5^r mod 2N, the automorphism exponent implementing a
 // rotation by r slots (Eq. 5 of the paper). Negative r rotates the other way.
+// The power is computed by square-and-multiply (2N is a power of two, so the
+// reduction is a mask), keeping large rotations O(log r) instead of O(r).
 func (r *Ring) GaloisElement(rot int) uint64 {
-	twoN := uint64(2 * r.N)
-	mask := twoN - 1
-	g := uint64(1)
+	mask := uint64(2*r.N) - 1
 	rot %= r.N / 2
 	if rot < 0 {
 		rot += r.N / 2
 	}
-	for i := 0; i < rot; i++ {
-		g = (g * 5) & mask
+	g := uint64(1)
+	base := uint64(5)
+	for e := uint64(rot); e > 0; e >>= 1 {
+		if e&1 == 1 {
+			g = (g * base) & mask
+		}
+		base = (base * base) & mask
 	}
 	return g
 }
@@ -124,7 +134,7 @@ func (r *Ring) GaloisConjugate() uint64 { return uint64(2*r.N - 1) }
 func (r *Ring) AutomorphismCoeff(p *Poly, g uint64, out *Poly, level int) {
 	n := uint64(r.N)
 	mask := 2*n - 1
-	for i := 0; i <= level; i++ {
+	r.exec.Run(level+1, func(i int) {
 		q := r.Moduli[i].Q
 		src, dst := p.Coeffs[i], out.Coeffs[i]
 		for j := uint64(0); j < n; j++ {
@@ -135,7 +145,7 @@ func (r *Ring) AutomorphismCoeff(p *Poly, g uint64, out *Poly, level int) {
 				dst[e-n] = mod.Neg(src[j], q)
 			}
 		}
-	}
+	})
 }
 
 // autoIndexNTT returns (and caches) the permutation table for applying the
@@ -143,7 +153,8 @@ func (r *Ring) AutomorphismCoeff(p *Poly, g uint64, out *Poly, level int) {
 // takes its value from row index table[i] of the input: in evaluation order,
 // σ_g(A) evaluated at ψ^e equals A evaluated at ψ^(e·g mod 2N), and no signs
 // change — which is why BTS can realize automorphism as a pure NoC
-// permutation (Section 5.5).
+// permutation (Section 5.5). The cache is populated before any limb fan-out,
+// so workers only ever read it.
 func (r *Ring) autoIndexNTT(g uint64) []int {
 	if t, ok := r.autoCache[g]; ok {
 		return t
@@ -164,15 +175,19 @@ func (r *Ring) autoIndexNTT(g uint64) []int {
 // AutomorphismNTT applies X -> X^g to rows [0..level] of p in the NTT domain.
 func (r *Ring) AutomorphismNTT(p *Poly, g uint64, out *Poly, level int) {
 	table := r.autoIndexNTT(g)
-	for i := 0; i <= level; i++ {
+	r.exec.Run(level+1, func(i int) {
 		src, dst := p.Coeffs[i], out.Coeffs[i]
 		for j := 0; j < r.N; j++ {
 			dst[j] = src[table[j]]
 		}
-	}
+	})
 }
 
 // --- Samplers ---------------------------------------------------------------
+//
+// The samplers stay serial on purpose: they consume a deterministic PRNG
+// stream whose draw order is part of the test vectors, so their output must
+// not depend on the worker count.
 
 // SampleUniform fills rows [0..level] with independent uniform residues.
 func (r *Ring) SampleUniform(rng *rand.Rand, p *Poly, level int) {
@@ -244,7 +259,7 @@ func (r *Ring) MulByMonomialNTT(p *Poly, k int, out *Poly, level int) {
 	if k < 0 {
 		k += twoN
 	}
-	for i := 0; i <= level; i++ {
+	r.exec.Run(level+1, func(i int) {
 		m := r.Moduli[i]
 		src, dst := p.Coeffs[i], out.Coeffs[i]
 		for j := 0; j < r.N; j++ {
@@ -263,5 +278,5 @@ func (r *Ring) MulByMonomialNTT(p *Poly, k int, out *Poly, level int) {
 			}
 			dst[j] = v
 		}
-	}
+	})
 }

@@ -12,6 +12,7 @@ package ring
 import (
 	"fmt"
 	"math/big"
+	"sync"
 
 	"bts/internal/mod"
 )
@@ -47,6 +48,15 @@ type Ring struct {
 	brv []int // bit-reversal permutation of [0,N)
 
 	autoCache map[uint64][]int // NTT-domain automorphism index tables
+
+	// exec fans limb-indexed kernels out across worker goroutines; it
+	// defaults to the shared DefaultEngine (see exec.go) and can be swapped
+	// with SetEngine/SetWorkers. polyPool and rowPool back the
+	// GetPoly/PutPoly zero-allocation scratch discipline.
+	exec     *Engine
+	ownsExec bool // exec was created by SetWorkers and is closed on replace
+	polyPool sync.Pool
+	rowPool  sync.Pool
 }
 
 // NewRing constructs a ring of degree N=2^logN over the given prime chain.
@@ -65,6 +75,7 @@ func NewRing(logN int, primes []uint64) (*Ring, error) {
 		Moduli:    make([]*Modulus, len(primes)),
 		brv:       bitReversalPermutation(logN),
 		autoCache: make(map[uint64][]int),
+		exec:      DefaultEngine(),
 	}
 	seen := make(map[uint64]bool, len(primes))
 	for i, q := range primes {
@@ -168,9 +179,9 @@ func (p *Poly) Levels() int { return len(p.Coeffs) - 1 }
 
 // CopyLevel copies src rows [0..level] into dst.
 func (r *Ring) CopyLevel(dst, src *Poly, level int) {
-	for i := 0; i <= level; i++ {
+	r.exec.Run(level+1, func(i int) {
 		copy(dst.Coeffs[i], src.Coeffs[i])
-	}
+	})
 }
 
 // CopyNew returns a deep copy of p truncated/extended to level+1 rows.
@@ -182,12 +193,12 @@ func (r *Ring) CopyNew(p *Poly, level int) *Poly {
 
 // Zero clears rows [0..level].
 func (r *Ring) Zero(p *Poly, level int) {
-	for i := 0; i <= level; i++ {
+	r.exec.Run(level+1, func(i int) {
 		row := p.Coeffs[i]
 		for j := range row {
 			row[j] = 0
 		}
-	}
+	})
 }
 
 // Equal reports whether a and b agree on rows [0..level].
@@ -236,19 +247,19 @@ func (r *Ring) PolyToBigCentered(p *Poly, level int) []*big.Int {
 // SetBigCoeffs writes centered (or any) big-integer coefficients into p's
 // rows [0..level], reducing each modulo the corresponding prime.
 func (r *Ring) SetBigCoeffs(p *Poly, coeffs []*big.Int, level int) {
-	tmp := new(big.Int)
-	for i := 0; i <= level; i++ {
+	r.exec.Run(level+1, func(i int) {
+		tmp := new(big.Int)
 		qi := new(big.Int).SetUint64(r.Moduli[i].Q)
 		for j := 0; j < r.N; j++ {
 			tmp.Mod(coeffs[j], qi)
 			p.Coeffs[i][j] = tmp.Uint64()
 		}
-	}
+	})
 }
 
 // SetInt64Coeffs writes signed 64-bit coefficients into rows [0..level].
 func (r *Ring) SetInt64Coeffs(p *Poly, coeffs []int64, level int) {
-	for i := 0; i <= level; i++ {
+	r.exec.Run(level+1, func(i int) {
 		q := r.Moduli[i].Q
 		row := p.Coeffs[i]
 		for j, c := range coeffs {
@@ -261,5 +272,5 @@ func (r *Ring) SetInt64Coeffs(p *Poly, coeffs []int64, level int) {
 				}
 			}
 		}
-	}
+	})
 }
