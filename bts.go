@@ -36,6 +36,33 @@
 // explicit worker counts should Context.Close discarded ones to release
 // their private worker pools.
 //
+// # Serving runtime
+//
+// The repository also contains a multi-tenant serving stack over the CKKS
+// library, mirroring the paper's framing of bootstrappable FHE as a service
+// that amortizes cost across many client ciphertexts in flight:
+//
+//   - internal/wire is the serialization layer: a versioned, length-prefixed
+//     binary codec (magic "BTSW", version 1) for polynomials, plaintexts,
+//     ciphertexts, public keys, switching keys and rotation-key sets. Every
+//     decode is validated against the owning Context (ring degree, level
+//     bounds, residue canonicity), so malformed bytes error instead of
+//     corrupting memory, and round trips are bit-exact.
+//
+//   - internal/serve is the batch scheduler: clients open named sessions by
+//     uploading evaluation keys (never the secret key) and submit jobs —
+//     programs of Add/Sub/Mult/Rotate/Conjugate/Rescale/Bootstrap ops. The
+//     dispatcher groups compatible jobs (same session) into batches, runs up
+//     to Parallel batches concurrently with one goroutine per job, and draws
+//     every result from the context's pooled ciphertext allocator
+//     (Context.GetCiphertext/PutCiphertext), so steady-state serving
+//     allocates nothing. Per-session statistics (jobs, ops, queue depth,
+//     p50/p90/p99 latency) are exported as JSON.
+//
+//   - cmd/btsserve wraps the scheduler in an HTTP daemon speaking the wire
+//     format, and `btsbench -experiment serve -clients K` is the matching
+//     load generator, reporting ops/sec and latency percentiles as JSON.
+//
 // This package re-exports the stable entry points used by the examples and
 // command-line tools; the root-level benchmarks (bench_test.go) regenerate
 // the paper's evaluation via the same functions.
@@ -45,7 +72,9 @@ import (
 	"bts/internal/arch"
 	"bts/internal/ckks"
 	"bts/internal/params"
+	"bts/internal/serve"
 	"bts/internal/sim"
+	"bts/internal/wire"
 	"bts/internal/workload"
 )
 
@@ -81,6 +110,35 @@ func NewSchemeWorkers(lit SchemeParams, workers int) (*ckks.Context, error) {
 	ctx.SetWorkers(workers)
 	return ctx, nil
 }
+
+// Serving runtime (wire serialization + multi-tenant batch scheduler).
+type (
+	// WireCodec marshals CKKS objects to the versioned wire format, validated
+	// against one Context.
+	WireCodec = wire.Codec
+	// ServeConfig parameterizes a serving runtime.
+	ServeConfig = serve.Config
+	// Server is the multi-tenant batch scheduler behind cmd/btsserve.
+	Server = serve.Server
+	// ServeOp is one step of a serving job program.
+	ServeOp = serve.Op
+	// ServeClient is the HTTP client for a btsserve daemon.
+	ServeClient = serve.Client
+	// ServeStats is the JSON statistics snapshot of a serving runtime.
+	ServeStats = serve.Stats
+)
+
+// NewWireCodec returns a codec bound to ctx; see also wire.NewPooledCodec
+// for the allocation-free serving path.
+func NewWireCodec(ctx *Context) *WireCodec { return wire.NewCodec(ctx) }
+
+// NewServer builds a serving runtime and starts its dispatcher.
+func NewServer(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }
+
+// NewServeClient returns a client for the daemon at base (e.g.
+// "http://127.0.0.1:8631"); ctx must mirror the daemon's parameters, which
+// serve.FetchParams retrieves.
+func NewServeClient(base string, ctx *Context) *ServeClient { return serve.NewClient(base, ctx) }
 
 // Accelerator modeling (the paper's contribution).
 type (

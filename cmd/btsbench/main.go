@@ -2,14 +2,23 @@
 // evaluation section and prints them as text tables (the same rows the root
 // benchmark harness reports). Usage:
 //
-//	btsbench [-experiment all|table1|fig1|fig2|fig3b|table3|table4|fig6|fig7|fig8|fig9|fig10|table5|table6|slowdown|speedup] [-workers N]
+//	btsbench [-experiment all|table1|fig1|fig2|fig3b|table3|table4|fig6|fig7|fig8|fig9|fig10|table5|table6|slowdown|speedup|serve] [-workers N]
+//	         [-clients K] [-duration 5s]
 //
-// The speedup experiment is special: instead of replaying the paper's model,
-// it runs the real CKKS library (NTT, HMult key-switching, HRot, HRescale and
-// a reduced-degree bootstrap) serially and then on the limb-parallel
-// execution engine with -workers goroutines, reporting the measured
-// serial-vs-parallel speedup curve on this machine. It is excluded from
-// "all" because it measures the host, not the paper.
+// Two experiments are special: instead of replaying the paper's model they
+// measure the host machine and are therefore excluded from "all".
+//
+// The speedup experiment runs the real CKKS library (NTT, HMult
+// key-switching, HRot, HRescale and a reduced-degree bootstrap) serially and
+// then on the limb-parallel execution engine with -workers goroutines,
+// reporting the measured serial-vs-parallel speedup curve.
+//
+// The serve experiment is the serving-runtime load generator: it stands up
+// an in-process btsserve daemon on loopback, drives it with -clients
+// concurrent tenants for -duration (each looping a rotate→multiply→rescale→
+// add job over wire-format ciphertexts), decrypts and verifies the final
+// result of every tenant, and prints a JSON throughput/latency report
+// (jobs/s, HE ops/s, p50/p90/p99 latency) to stdout.
 package main
 
 import (
@@ -18,6 +27,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"time"
 
 	"bts/internal/arch"
 	"bts/internal/eval"
@@ -25,8 +35,11 @@ import (
 )
 
 func main() {
-	which := flag.String("experiment", "all", "experiment to run (all, table1, fig1, ... slowdown, speedup)")
-	workers := flag.Int("workers", runtime.NumCPU(), "execution-engine worker count for -experiment speedup (0 = serial)")
+	which := flag.String("experiment", "all", "experiment to run (all, table1, fig1, ... slowdown, speedup, serve)")
+	workers := flag.Int("workers", runtime.NumCPU(), "execution-engine worker count for -experiment speedup/serve (0 = serial)")
+	clients := flag.Int("clients", 4, "concurrent tenants for -experiment serve")
+	duration := flag.Duration("duration", 5*time.Second, "load duration for -experiment serve")
+	serveAddr := flag.String("addr", "", "for -experiment serve: drive an already-running btsserve at this address instead of an in-process daemon")
 	flag.Parse()
 
 	experiments := []struct {
@@ -49,6 +62,10 @@ func main() {
 	if *which == "speedup" {
 		fmt.Printf("\n===== speedup =====\n")
 		speedup(*workers)
+		ran = true
+	}
+	if *which == "serve" {
+		serveBench(*clients, *duration, *workers, *serveAddr)
 		ran = true
 	}
 	if !ran {

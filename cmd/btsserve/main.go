@@ -1,0 +1,122 @@
+// Command btsserve is the multi-tenant FHE serving daemon: an HTTP server
+// speaking the internal/wire binary format in front of the internal/serve
+// batch scheduler. Clients mirror the daemon's CKKS parameters (GET
+// /v1/params), open named sessions by uploading evaluation keys, and submit
+// jobs — programs of Add/Sub/Mult/Rotate/Conjugate/Rescale/Bootstrap ops —
+// over wire-format ciphertexts. The secret key never leaves the client.
+//
+// Usage:
+//
+//	btsserve [-addr 127.0.0.1:8631] [-params toy|small|boot] [-workers N]
+//	         [-batch 8] [-batch-window 200us] [-queue 1024]
+//
+// Parameter presets (all reduced-degree research instances, not
+// production-hardened lattice parameters):
+//
+//	toy    N=2^11, 4 levels  — the quickstart instance, fastest turnaround
+//	small  N=2^12, 8 levels  — the speedup-experiment instance (default)
+//	boot   N=2^10, 15 levels — bootstrappable chain; enables the
+//	                           "bootstrap" op for sessions whose rotation
+//	                           keys cover the advertised set
+//
+// The daemon exits gracefully on SIGINT/SIGTERM, draining in-flight jobs.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bts/internal/ckks"
+	"bts/internal/serve"
+)
+
+// presetLiteral returns the parameter literal for a named preset and whether
+// the preset enables bootstrapping.
+func presetLiteral(name string) (ckks.ParametersLiteral, bool, error) {
+	switch name {
+	case "toy":
+		return ckks.ParametersLiteral{
+			LogN: 11, LogQ: []int{50, 40, 40, 40}, LogP: 51,
+			Dnum: 2, LogScale: 40, H: 64,
+		}, false, nil
+	case "small":
+		return ckks.ParametersLiteral{
+			LogN: 12, LogQ: []int{50, 40, 40, 40, 40, 40, 40, 40}, LogP: 51,
+			Dnum: 3, LogScale: 40, H: 64,
+		}, false, nil
+	case "boot":
+		logQ := []int{55}
+		for i := 0; i < 14; i++ {
+			logQ = append(logQ, 45)
+		}
+		return ckks.ParametersLiteral{
+			LogN: 10, LogQ: logQ, LogP: 55,
+			Dnum: 2, LogScale: 45, H: 8,
+		}, true, nil
+	}
+	return ckks.ParametersLiteral{}, false, fmt.Errorf("unknown preset %q (toy, small, boot)", name)
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8631", "listen address")
+	preset := flag.String("params", "small", "parameter preset (toy, small, boot)")
+	workers := flag.Int("workers", 0, "execution-engine workers (0 = shared GOMAXPROCS pool)")
+	batch := flag.Int("batch", 8, "max jobs per scheduler batch")
+	parallel := flag.Int("parallel", 4, "max batches in flight at once")
+	batchWindow := flag.Duration("batch-window", 200*time.Microsecond, "linger time to fill a batch")
+	queue := flag.Int("queue", 1024, "max queued jobs")
+	flag.Parse()
+
+	lit, boot, err := presetLiteral(*preset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	params, err := ckks.NewParameters(lit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := serve.Config{
+		Params:      params,
+		Workers:     *workers,
+		BatchSize:   *batch,
+		Parallel:    *parallel,
+		BatchWindow: *batchWindow,
+		MaxQueue:    *queue,
+	}
+	if boot {
+		bp := ckks.DefaultBootstrapParams()
+		cfg.Bootstrap = &bp
+	}
+	srv, err := serve.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("btsserve: preset %s (N=2^%d, L=%d, dnum=%d), batch=%d, window=%s, bootstrap=%v",
+		*preset, params.LogN, params.MaxLevel(), params.Dnum, *batch, *batchWindow, boot)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+		<-sig
+		log.Print("btsserve: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+	}()
+	log.Printf("btsserve: listening on http://%s", *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	<-done
+	srv.Close()
+}

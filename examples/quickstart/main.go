@@ -5,6 +5,32 @@
 // The parameter set is a reduced-degree toy (N = 2^11) so the example runs
 // in milliseconds; it exercises exactly the code paths the accelerator
 // model simulates at N = 2^17.
+//
+// # Serving the same ops over HTTP with btsserve
+//
+// Everything this example does locally can run against the multi-tenant
+// serving daemon instead. Start it on the same toy parameters:
+//
+//	go run ./cmd/btsserve -params toy -addr 127.0.0.1:8631
+//
+// A client then mirrors the daemon's parameters (GET /v1/params, or
+// serve.FetchParams), opens a session by uploading its evaluation keys —
+// the secret key stays local — and submits jobs over the wire format:
+//
+//	params, _, _ := serve.FetchParams("http://127.0.0.1:8631")
+//	ctx, _ := ckks.NewContext(params)
+//	// ... generate keys exactly as below ...
+//	cl := serve.NewClient("http://127.0.0.1:8631", ctx)
+//	cl.OpenSession("alice", rlk, rtks)
+//	res, _ := cl.Do("alice", []serve.Op{
+//		{Kind: serve.OpRotate, A: 0, By: 1}, // rot(a, 1)
+//		{Kind: serve.OpMul, A: 2, B: 1},     // ⊗ b
+//		{Kind: serve.OpRescale, A: 3},       // rescale
+//	}, ctA, ctB)
+//	fmt.Println(encoder.Decode(decryptor.DecryptNew(res)))
+//
+// `go run ./cmd/btsbench -experiment serve -clients 4` load-tests the
+// daemon and prints a JSON throughput/latency report.
 package main
 
 import (

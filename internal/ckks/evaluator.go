@@ -16,6 +16,14 @@ const scaleTolerance = 1.0 / (1 << 8)
 // Evaluator applies the primitive HE ops of Section 2.3: HAdd, HMult (tensor
 // product + key-switching, Eq. 3-4), HRot (automorphism + key-switching,
 // Eq. 5-6), HRescale, and the plaintext/constant variants.
+//
+// Ops returning a fresh ciphertext draw it from the context's ciphertext
+// pool: callers that are done with a result may hand it back via
+// Context.PutCiphertext so steady-state evaluation allocates nothing, or
+// simply drop it for the garbage collector. An Evaluator is safe for
+// concurrent use by multiple goroutines (the serving runtime runs several
+// ciphertexts in flight through one evaluator); all scratch comes from
+// per-ring sync.Pools.
 type Evaluator struct {
 	ctx     *Context
 	encoder *Encoder
@@ -54,7 +62,7 @@ func checkScales(s0, s1 float64, op string) float64 {
 func (ev *Evaluator) Add(ct0, ct1 *Ciphertext) *Ciphertext {
 	lvl := alignLevels(ct0, ct1)
 	scale := checkScales(ct0.Scale, ct1.Scale, "Add")
-	out := ev.ctx.NewCiphertext(lvl, scale)
+	out := ev.ctx.getCiphertextNoZero(lvl, scale)
 	ev.ctx.RingQ.Add(ct0.C0, ct1.C0, out.C0, lvl)
 	ev.ctx.RingQ.Add(ct0.C1, ct1.C1, out.C1, lvl)
 	return out
@@ -76,7 +84,7 @@ func (ev *Evaluator) AddInPlace(ct0, ct1 *Ciphertext) {
 func (ev *Evaluator) Sub(ct0, ct1 *Ciphertext) *Ciphertext {
 	lvl := alignLevels(ct0, ct1)
 	scale := checkScales(ct0.Scale, ct1.Scale, "Sub")
-	out := ev.ctx.NewCiphertext(lvl, scale)
+	out := ev.ctx.getCiphertextNoZero(lvl, scale)
 	ev.ctx.RingQ.Sub(ct0.C0, ct1.C0, out.C0, lvl)
 	ev.ctx.RingQ.Sub(ct0.C1, ct1.C1, out.C1, lvl)
 	return out
@@ -84,7 +92,7 @@ func (ev *Evaluator) Sub(ct0, ct1 *Ciphertext) *Ciphertext {
 
 // Neg returns -ct.
 func (ev *Evaluator) Neg(ct *Ciphertext) *Ciphertext {
-	out := ev.ctx.NewCiphertext(ct.Level, ct.Scale)
+	out := ev.ctx.getCiphertextNoZero(ct.Level, ct.Scale)
 	ev.ctx.RingQ.Neg(ct.C0, out.C0, ct.Level)
 	ev.ctx.RingQ.Neg(ct.C1, out.C1, ct.Level)
 	return out
@@ -97,7 +105,7 @@ func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
 		lvl = pt.Level
 	}
 	scale := checkScales(ct.Scale, pt.Scale, "AddPlain")
-	out := ev.ctx.NewCiphertext(lvl, scale)
+	out := ev.ctx.getCiphertextNoZero(lvl, scale)
 	ev.ctx.RingQ.Add(ct.C0, pt.Value, out.C0, lvl)
 	ev.ctx.RingQ.CopyLevel(out.C1, ct.C1, lvl)
 	return out
@@ -110,7 +118,7 @@ func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
 	if pt.Level < lvl {
 		lvl = pt.Level
 	}
-	out := ev.ctx.NewCiphertext(lvl, ct.Scale*pt.Scale)
+	out := ev.ctx.getCiphertextNoZero(lvl, ct.Scale*pt.Scale)
 	ev.ctx.RingQ.MulCoeffs(ct.C0, pt.Value, out.C0, lvl)
 	ev.ctx.RingQ.MulCoeffs(ct.C1, pt.Value, out.C1, lvl)
 	return out
@@ -120,7 +128,7 @@ func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
 // real part (a constant polynomial) and uses the X^(N/2) monomial for the
 // imaginary part, so no level is consumed.
 func (ev *Evaluator) AddConst(ct *Ciphertext, c complex128) *Ciphertext {
-	out := ct.CopyNew(ev.ctx)
+	out := ev.ctx.copyCiphertextPooled(ct)
 	rq := ev.ctx.RingQ
 	re := int64(math.Round(real(c) * ct.Scale))
 	im := int64(math.Round(imag(c) * ct.Scale))
@@ -173,7 +181,7 @@ func (ev *Evaluator) MulConst(ct *Ciphertext, c complex128, constScale float64) 
 	lvl := ct.Level
 	re := int64(math.Round(real(c) * constScale))
 	im := int64(math.Round(imag(c) * constScale))
-	out := ev.ctx.NewCiphertext(lvl, ct.Scale*constScale)
+	out := ev.ctx.getCiphertextNoZero(lvl, ct.Scale*constScale)
 	rq.MulScalarInt64(ct.C0, re, out.C0, lvl)
 	rq.MulScalarInt64(ct.C1, re, out.C1, lvl)
 	if im != 0 {
@@ -196,7 +204,7 @@ func (ev *Evaluator) MulConst(ct *Ciphertext, c complex128, constScale float64) 
 // operation realized as multiplication by the monomial X^(N/2).
 func (ev *Evaluator) MulByI(ct *Ciphertext) *Ciphertext {
 	rq := ev.ctx.RingQ
-	out := ev.ctx.NewCiphertext(ct.Level, ct.Scale)
+	out := ev.ctx.getCiphertextNoZero(ct.Level, ct.Scale)
 	rq.MulByMonomialNTT(ct.C0, rq.N/2, out.C0, ct.Level)
 	rq.MulByMonomialNTT(ct.C1, rq.N/2, out.C1, ct.Level)
 	return out
@@ -223,7 +231,7 @@ func (ev *Evaluator) MulRelin(ct0, ct1 *Ciphertext) *Ciphertext {
 	ks0 := rq.GetPolyNoZero()
 	ks1 := rq.GetPolyNoZero()
 	ev.keySwitch(d2, lvl, ev.rlk, ks0, ks1)
-	out := ev.ctx.NewCiphertext(lvl, ct0.Scale*ct1.Scale)
+	out := ev.ctx.getCiphertextNoZero(lvl, ct0.Scale*ct1.Scale)
 	rq.Add(d0, ks0, out.C0, lvl)
 	rq.Add(d1, ks1, out.C1, lvl)
 	rq.PutPoly(ks1)
@@ -244,7 +252,7 @@ func (ev *Evaluator) Rescale(ct *Ciphertext) *Ciphertext {
 		panic("ckks: cannot rescale a level-0 ciphertext")
 	}
 	rq := ev.ctx.RingQ
-	out := ct.CopyNew(ev.ctx)
+	out := ev.ctx.copyCiphertextPooled(ct)
 	q := float64(rq.Moduli[ct.Level].Q)
 	rq.DivRoundByLastModulusNTT(out.C0, ct.Level)
 	rq.DivRoundByLastModulusNTT(out.C1, ct.Level)
@@ -268,7 +276,7 @@ func (ev *Evaluator) Conjugate(ct *Ciphertext) *Ciphertext {
 
 func (ev *Evaluator) automorphism(ct *Ciphertext, g uint64) *Ciphertext {
 	if g == 1 {
-		return ct.CopyNew(ev.ctx)
+		return ev.ctx.copyCiphertextPooled(ct)
 	}
 	if ev.rtks == nil {
 		panic("ckks: rotation without rotation keys")
@@ -286,7 +294,7 @@ func (ev *Evaluator) automorphism(ct *Ciphertext, g uint64) *Ciphertext {
 	ks0 := rq.GetPolyNoZero()
 	ks1 := rq.GetPolyNoZero()
 	ev.keySwitch(ra, lvl, swk, ks0, ks1)
-	out := ev.ctx.NewCiphertext(lvl, ct.Scale)
+	out := ev.ctx.getCiphertextNoZero(lvl, ct.Scale)
 	rq.Add(rb, ks0, out.C0, lvl)
 	rq.CopyLevel(out.C1, ks1, lvl)
 	rq.PutPoly(ks1)

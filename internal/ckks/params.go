@@ -11,6 +11,7 @@ package ckks
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"bts/internal/mod"
 	"bts/internal/ring"
@@ -171,10 +172,19 @@ type Context struct {
 	pInvModQ      []uint64 // [P^-1]_{q_i}, used by ModDown
 	pInvModQShoup []uint64 // Shoup companions of pInvModQ
 
+	// cacheMu guards the lazily-populated extender caches below so several
+	// ciphertexts can be evaluated concurrently on one context (the serving
+	// runtime's batch scheduler keeps many jobs in flight per context).
+	cacheMu      sync.RWMutex
 	modUpCache   map[[2]int]*ring.BasisExtender // (group j, level) → extender
 	modDownCache map[int]*ring.BasisExtender    // level → extender P→C_level
 
 	engine *ring.Engine
+
+	// ctPool recycles pooled ciphertexts (see GetCiphertext/PutCiphertext);
+	// their residue rows come from the q-ring's row pool, so DropLevel can
+	// hand now-unused rows straight back to the scratch allocator.
+	ctPool sync.Pool
 }
 
 // NewContext builds the rings and precomputed tables for params. The context
@@ -225,12 +235,14 @@ func (ctx *Context) SetWorkers(n int) {
 	ctx.engine = ring.NewEngine(n)
 	ctx.RingQ.SetEngine(ctx.engine)
 	ctx.RingP.SetEngine(ctx.engine)
+	ctx.cacheMu.Lock()
 	for _, be := range ctx.modUpCache {
 		be.SetEngine(ctx.engine)
 	}
 	for _, be := range ctx.modDownCache {
 		be.SetEngine(ctx.engine)
 	}
+	ctx.cacheMu.Unlock()
 	if old != nil && old != ring.DefaultEngine() {
 		old.Close()
 	}
@@ -252,12 +264,14 @@ func (ctx *Context) Close() {
 	ctx.engine = ring.DefaultEngine()
 	ctx.RingQ.SetEngine(ctx.engine)
 	ctx.RingP.SetEngine(ctx.engine)
+	ctx.cacheMu.Lock()
 	for _, be := range ctx.modUpCache {
 		be.SetEngine(ctx.engine)
 	}
 	for _, be := range ctx.modDownCache {
 		be.SetEngine(ctx.engine)
 	}
+	ctx.cacheMu.Unlock()
 	old.Close()
 }
 
@@ -275,10 +289,13 @@ func (ctx *Context) groupRange(j, level int) (lo, hi int) {
 
 // modUpExtender returns the BasisExtender converting group j's primes to the
 // rest of the active basis (other q primes + all special primes), caching by
-// (group, level).
+// (group, level). Safe for concurrent use.
 func (ctx *Context) modUpExtender(j, level int) *ring.BasisExtender {
 	key := [2]int{j, level}
-	if be, ok := ctx.modUpCache[key]; ok {
+	ctx.cacheMu.RLock()
+	be, ok := ctx.modUpCache[key]
+	ctx.cacheMu.RUnlock()
+	if ok {
 		return be
 	}
 	lo, hi := ctx.groupRange(j, level)
@@ -294,22 +311,38 @@ func (ctx *Context) modUpExtender(j, level int) *ring.BasisExtender {
 	if err != nil {
 		panic(fmt.Sprintf("ckks: modUpExtender(%d,%d): %v", j, level, err))
 	}
-	be.SetEngine(ctx.engine)
-	ctx.modUpCache[key] = be
+	ctx.cacheMu.Lock()
+	if prior, ok := ctx.modUpCache[key]; ok {
+		be = prior // another goroutine won the build race
+	} else {
+		be.SetEngine(ctx.engine)
+		ctx.modUpCache[key] = be
+	}
+	ctx.cacheMu.Unlock()
 	return be
 }
 
 // modDownExtender returns the BasisExtender converting the special basis P to
-// the active q-basis at the given level, cached per level.
+// the active q-basis at the given level, cached per level. Safe for
+// concurrent use.
 func (ctx *Context) modDownExtender(level int) *ring.BasisExtender {
-	if be, ok := ctx.modDownCache[level]; ok {
+	ctx.cacheMu.RLock()
+	be, ok := ctx.modDownCache[level]
+	ctx.cacheMu.RUnlock()
+	if ok {
 		return be
 	}
 	be, err := ring.NewBasisExtender(ctx.RingP.Moduli, ctx.RingQ.Moduli[:level+1])
 	if err != nil {
 		panic(fmt.Sprintf("ckks: modDownExtender(%d): %v", level, err))
 	}
-	be.SetEngine(ctx.engine)
-	ctx.modDownCache[level] = be
+	ctx.cacheMu.Lock()
+	if prior, ok := ctx.modDownCache[level]; ok {
+		be = prior
+	} else {
+		be.SetEngine(ctx.engine)
+		ctx.modDownCache[level] = be
+	}
+	ctx.cacheMu.Unlock()
 	return be
 }

@@ -153,10 +153,15 @@ func (r *Ring) AutomorphismCoeff(p *Poly, g uint64, out *Poly, level int) {
 // takes its value from row index table[i] of the input: in evaluation order,
 // σ_g(A) evaluated at ψ^e equals A evaluated at ψ^(e·g mod 2N), and no signs
 // change — which is why BTS can realize automorphism as a pure NoC
-// permutation (Section 5.5). The cache is populated before any limb fan-out,
-// so workers only ever read it.
+// permutation (Section 5.5). The cache is guarded by a read-write lock so
+// several ciphertexts may be rotated concurrently (the serving runtime keeps
+// many in flight on one ring); workers inside the limb fan-out only ever read
+// the fully-built table.
 func (r *Ring) autoIndexNTT(g uint64) []int {
-	if t, ok := r.autoCache[g]; ok {
+	r.autoMu.RLock()
+	t, ok := r.autoCache[g]
+	r.autoMu.RUnlock()
+	if ok {
 		return t
 	}
 	n := r.N
@@ -168,7 +173,9 @@ func (r *Ring) autoIndexNTT(g uint64) []int {
 		j := int((eg - 1) / 2)    // evaluation slot with exponent eg
 		table[i] = r.brv[j&(n-1)] // back to storage order
 	}
+	r.autoMu.Lock()
 	r.autoCache[g] = table
+	r.autoMu.Unlock()
 	return table
 }
 

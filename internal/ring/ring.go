@@ -48,6 +48,7 @@ type Ring struct {
 	brv []int // bit-reversal permutation of [0,N)
 
 	autoCache map[uint64][]int // NTT-domain automorphism index tables
+	autoMu    sync.RWMutex     // guards autoCache for concurrent evaluation
 
 	// exec fans limb-indexed kernels out across worker goroutines; it
 	// defaults to the shared DefaultEngine (see exec.go) and can be swapped

@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"bts/internal/ckks"
+	"bts/internal/wire"
+)
+
+// Client talks to a btsserve daemon. It owns a context mirroring the
+// server's parameters (so its wire objects validate on the far side) but
+// never sends secret material: only evaluation keys and ciphertexts leave
+// the process.
+type Client struct {
+	base  string
+	hc    *http.Client
+	ctx   *ckks.Context
+	codec *wire.Codec
+}
+
+// FetchParams asks the daemon at base (e.g. "http://127.0.0.1:8631") for its
+// parameter set and returns the mirrored ckks.Parameters plus the rotation
+// amounts bootstrapping requires (nil when the server has it disabled).
+func FetchParams(base string) (ckks.Parameters, []int, error) {
+	resp, err := http.Get(base + "/v1/params")
+	if err != nil {
+		return ckks.Parameters{}, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return ckks.Parameters{}, nil, httpError(resp)
+	}
+	var pr ParamsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return ckks.Parameters{}, nil, fmt.Errorf("serve: decoding params: %w", err)
+	}
+	p := ckks.Parameters{
+		LogN:  pr.LogN,
+		Q:     pr.Q,
+		P:     pr.P,
+		Dnum:  pr.Dnum,
+		Scale: pr.Scale,
+		H:     pr.H,
+		Sigma: pr.Sigma,
+	}
+	if err := p.Validate(); err != nil {
+		return ckks.Parameters{}, nil, fmt.Errorf("serve: server sent invalid parameters: %w", err)
+	}
+	return p, pr.BootstrapRotations, nil
+}
+
+// NewClient returns a client for the daemon at base. ctx must mirror the
+// server's parameters (build it from FetchParams).
+func NewClient(base string, ctx *ckks.Context) *Client {
+	return &Client{
+		base:  base,
+		hc:    &http.Client{Timeout: 5 * time.Minute},
+		ctx:   ctx,
+		codec: wire.NewCodec(ctx),
+	}
+}
+
+// Context returns the client-side context.
+func (c *Client) Context() *ckks.Context { return c.ctx }
+
+// httpError turns a non-200 response into an error carrying the server's
+// JSON error message when present.
+func httpError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var er errorResponse
+	if json.Unmarshal(body, &er) == nil && er.Error != "" {
+		return fmt.Errorf("serve: server returned %s: %s", resp.Status, er.Error)
+	}
+	return fmt.Errorf("serve: server returned %s", resp.Status)
+}
+
+// OpenSession registers a named session with the given evaluation keys; nil
+// keys are simply omitted from the upload, independently of each other (a
+// rotation-only tenant may pass rlk == nil with a non-nil rtks).
+func (c *Client) OpenSession(name string, rlk *ckks.SwitchingKey, rtks *ckks.RotationKeySet) error {
+	var body bytes.Buffer
+	if rlk != nil {
+		if err := c.codec.WriteSwitchingKey(&body, rlk); err != nil {
+			return err
+		}
+	}
+	if rtks != nil {
+		if err := c.codec.WriteRotationKeySet(&body, rtks); err != nil {
+			return err
+		}
+	}
+	resp, err := c.hc.Post(c.base+"/v1/sessions?name="+name, "application/x-bts-wire", &body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return httpError(resp)
+	}
+	return nil
+}
+
+// Do submits a job — a program of ops over the input ciphertexts — to the
+// named session and returns the result ciphertext.
+func (c *Client) Do(session string, ops []Op, inputs ...*ckks.Ciphertext) (*ckks.Ciphertext, error) {
+	header, err := json.Marshal(JobRequest{Session: session, Ops: ops})
+	if err != nil {
+		return nil, err
+	}
+	var body bytes.Buffer
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(header)))
+	body.Write(lenBuf[:])
+	body.Write(header)
+	for _, ct := range inputs {
+		if err := c.codec.WriteCiphertext(&body, ct); err != nil {
+			return nil, err
+		}
+	}
+	resp, err := c.hc.Post(c.base+"/v1/jobs", "application/x-bts-wire", &body)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError(resp)
+	}
+	return c.codec.ReadCiphertext(resp.Body)
+}
+
+// Stats fetches the server's serving statistics.
+func (c *Client) Stats() (Stats, error) {
+	resp, err := c.hc.Get(c.base + "/v1/stats")
+	if err != nil {
+		return Stats{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Stats{}, httpError(resp)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return Stats{}, err
+	}
+	return st, nil
+}
+
+// Healthz probes the daemon's liveness endpoint.
+func (c *Client) Healthz() error {
+	resp, err := c.hc.Get(c.base + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return httpError(resp)
+	}
+	return nil
+}

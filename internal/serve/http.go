@@ -1,0 +1,253 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"time"
+
+	"bts/internal/ckks"
+	"bts/internal/wire"
+)
+
+// The HTTP API. Ciphertexts and keys travel in the internal/wire envelope
+// format; job programs and statistics travel as JSON.
+//
+//	GET  /healthz             liveness probe
+//	GET  /v1/params           the server's CKKS parameter set (JSON), so a
+//	                          client can mirror the context bit-exactly
+//	POST /v1/sessions?name=N  open a session; body is an optional wire
+//	                          SwitchingKey (relinearization key) followed by
+//	                          an optional wire RotationKeySet
+//	POST /v1/jobs             run a job; body is a length-prefixed JSON
+//	                          JobRequest followed by the input ciphertext
+//	                          envelopes; the response body is the result
+//	                          ciphertext envelope
+//	GET  /v1/stats            per-session serving statistics (JSON)
+const (
+	// maxJobHeaderBytes bounds the length-prefixed JSON program block of a
+	// job request.
+	maxJobHeaderBytes = 1 << 20
+	// maxJobInputs bounds the ciphertext count of one job request.
+	maxJobInputs = 64
+)
+
+// ParamsResponse mirrors ckks.Parameters plus serving metadata; it is
+// everything a client needs to build a bit-identical context.
+type ParamsResponse struct {
+	LogN               int      `json:"log_n"`
+	Q                  []uint64 `json:"q"`
+	P                  []uint64 `json:"p"`
+	Dnum               int      `json:"dnum"`
+	Scale              float64  `json:"scale"`
+	H                  int      `json:"h"`
+	Sigma              float64  `json:"sigma"`
+	WireVersion        int      `json:"wire_version"`
+	BootstrapRotations []int    `json:"bootstrap_rotations,omitempty"`
+}
+
+// JobRequest is the JSON program block preceding the input ciphertexts in a
+// job request body.
+type JobRequest struct {
+	Session string `json:"session"`
+	Ops     []Op   `json:"ops"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the server's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/params", s.handleParams)
+	mux.HandleFunc("/v1/sessions", s.handleSessions)
+	mux.HandleFunc("/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleParams(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: %s not allowed", r.Method))
+		return
+	}
+	p := s.ctx.Params
+	writeJSON(w, http.StatusOK, ParamsResponse{
+		LogN:               p.LogN,
+		Q:                  p.Q,
+		P:                  p.P,
+		Dnum:               p.Dnum,
+		Scale:              p.Scale,
+		H:                  p.H,
+		Sigma:              p.Sigma,
+		WireVersion:        1,
+		BootstrapRotations: s.bootRotations,
+	})
+}
+
+func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: %s not allowed", r.Method))
+		return
+	}
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: missing ?name="))
+		return
+	}
+	// The body is a stream of key envelopes in any order, each kind at most
+	// once; an empty body opens a keyless (Add/Sub-only) session.
+	var (
+		rlk  *ckks.SwitchingKey
+		rtks *ckks.RotationKeySet
+	)
+	body := bufio.NewReader(r.Body)
+	for {
+		t, err := wire.PeekType(body)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		switch t {
+		case wire.TypeSwitchingKey:
+			if rlk != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("serve: duplicate relinearization key"))
+				return
+			}
+			if rlk, err = s.codec.ReadSwitchingKey(body); err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+		case wire.TypeRotationKeySet:
+			if rtks != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("serve: duplicate rotation key set"))
+				return
+			}
+			if rtks, err = s.codec.ReadRotationKeySet(body); err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+		default:
+			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: unexpected %s envelope in session upload", t))
+			return
+		}
+	}
+	if err := s.OpenSession(name, rlk, rtks); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	sess, _ := s.session(name)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"session":        name,
+		"relinearizable": rlk != nil,
+		"rotations":      rtks != nil,
+		"bootstrappable": sess != nil && sess.bt != nil,
+	})
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: %s not allowed", r.Method))
+		return
+	}
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r.Body, lenBuf[:]); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: reading job header length: %w", err))
+		return
+	}
+	headerLen := binary.LittleEndian.Uint32(lenBuf[:])
+	if headerLen == 0 || headerLen > maxJobHeaderBytes {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: job header of %d bytes outside (0,%d]", headerLen, maxJobHeaderBytes))
+		return
+	}
+	headerBytes := make([]byte, headerLen)
+	if _, err := io.ReadFull(r.Body, headerBytes); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: reading job header: %w", err))
+		return
+	}
+	var req JobRequest
+	if err := json.Unmarshal(headerBytes, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: decoding job header: %w", err))
+		return
+	}
+
+	// Decode the input ciphertexts (pooled) until EOF.
+	var inputs []*ckks.Ciphertext
+	release := func() {
+		for _, ct := range inputs {
+			s.ctx.PutCiphertext(ct)
+		}
+	}
+	for {
+		ct, err := s.codec.ReadCiphertext(r.Body)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			release()
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if len(inputs) >= maxJobInputs {
+			release()
+			s.ctx.PutCiphertext(ct)
+			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: more than %d input ciphertexts", maxJobInputs))
+			return
+		}
+		inputs = append(inputs, ct)
+	}
+
+	start := time.Now()
+	result, err := s.Submit(req.Session, req.Ops, inputs)
+	release()
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, errServerClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return
+	}
+	defer s.ctx.PutCiphertext(result)
+
+	w.Header().Set("Content-Type", "application/x-bts-wire")
+	w.Header().Set("X-BTS-Latency-Us", fmt.Sprintf("%d", time.Since(start).Microseconds()))
+	w.Header().Set("X-BTS-Level", fmt.Sprintf("%d", result.Level))
+	w.Header().Set("X-BTS-Log-Scale", fmt.Sprintf("%.3f", math.Log2(result.Scale)))
+	if err := s.codec.WriteCiphertext(w, result); err != nil {
+		// Headers are gone; nothing to do but drop the connection.
+		return
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: %s not allowed", r.Method))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
+}

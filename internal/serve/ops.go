@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"fmt"
+
+	"bts/internal/ckks"
+)
+
+// OpKind names a primitive HE operation a job may request — the op set of
+// Section 2.3 of the paper plus bootstrapping.
+type OpKind string
+
+const (
+	OpAdd       OpKind = "add"       // slot[a] + slot[b]
+	OpSub       OpKind = "sub"       // slot[a] - slot[b]
+	OpMul       OpKind = "mul"       // slot[a] ⊗ slot[b], relinearized
+	OpRotate    OpKind = "rot"       // slot[a] rotated left by `by`
+	OpConjugate OpKind = "conj"      // slot-wise complex conjugate of slot[a]
+	OpRescale   OpKind = "rescale"   // slot[a] divided by its last prime
+	OpBootstrap OpKind = "bootstrap" // slot[a] refreshed to full levels
+)
+
+// Op is one step of a job program. Operands address a slot vector that
+// starts with the job's input ciphertexts (slot 0..k-1 for k inputs); each
+// executed op appends its result as the next slot, and the final slot is the
+// job's result. A/B below -1 or beyond the last produced slot are rejected
+// before the job is queued.
+type Op struct {
+	Kind OpKind `json:"kind"`
+	A    int    `json:"a"`
+	B    int    `json:"b,omitempty"`  // second operand (add/sub/mul)
+	By   int    `json:"by,omitempty"` // rotation amount (rot)
+}
+
+// binary reports whether the op consumes two ciphertext operands.
+func (o Op) binary() bool {
+	return o.Kind == OpAdd || o.Kind == OpSub || o.Kind == OpMul
+}
+
+// validateOps checks a job program against the slot-addressing rules before
+// it is queued: operand indices must reference inputs or earlier results.
+func validateOps(ops []Op, inputs, maxOps int) error {
+	if len(ops) == 0 {
+		return fmt.Errorf("serve: job has no ops")
+	}
+	if len(ops) > maxOps {
+		return fmt.Errorf("serve: job has %d ops, limit is %d", len(ops), maxOps)
+	}
+	for i, op := range ops {
+		avail := inputs + i // slots visible to op i
+		switch op.Kind {
+		case OpAdd, OpSub, OpMul, OpRotate, OpConjugate, OpRescale, OpBootstrap:
+		default:
+			return fmt.Errorf("serve: op %d: unknown kind %q", i, op.Kind)
+		}
+		if op.A < 0 || op.A >= avail {
+			return fmt.Errorf("serve: op %d: operand a=%d outside [0,%d)", i, op.A, avail)
+		}
+		if op.binary() && (op.B < 0 || op.B >= avail) {
+			return fmt.Errorf("serve: op %d: operand b=%d outside [0,%d)", i, op.B, avail)
+		}
+	}
+	return nil
+}
+
+// run interprets the job program. Evaluator primitives panic on programmer
+// error (missing keys, scale mismatch, rescale at level 0); a job must never
+// take the server down, so the interpreter converts panics into job errors.
+// Intermediate results are returned to the context's ciphertext pool; the
+// final result is handed to the caller (pooled).
+func (j *job) run(ctx *ckks.Context) (result *ckks.Ciphertext, err error) {
+	slots := make([]*ckks.Ciphertext, len(j.inputs), len(j.inputs)+len(j.ops))
+	copy(slots, j.inputs)
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("serve: op failed: %v", r)
+			result = nil
+		}
+		// Release every produced intermediate except the result; inputs stay
+		// owned by the submitter.
+		for _, ct := range slots[len(j.inputs):] {
+			if ct != result {
+				ctx.PutCiphertext(ct)
+			}
+		}
+	}()
+	ev := j.sess.eval
+	for i, op := range j.ops {
+		var out *ckks.Ciphertext
+		switch op.Kind {
+		case OpAdd:
+			out = ev.Add(slots[op.A], slots[op.B])
+		case OpSub:
+			out = ev.Sub(slots[op.A], slots[op.B])
+		case OpMul:
+			out = ev.MulRelin(slots[op.A], slots[op.B])
+		case OpRotate:
+			out = ev.Rotate(slots[op.A], op.By)
+		case OpConjugate:
+			out = ev.Conjugate(slots[op.A])
+		case OpRescale:
+			out = ev.Rescale(slots[op.A])
+		case OpBootstrap:
+			if j.sess.bt == nil {
+				return nil, fmt.Errorf("serve: op %d: session %q has no bootstrapper (disabled or rotation keys missing)", i, j.sess.name)
+			}
+			var berr error
+			out, berr = j.sess.bt.Bootstrap(slots[op.A])
+			if berr != nil {
+				return nil, fmt.Errorf("serve: op %d: bootstrap: %w", i, berr)
+			}
+		}
+		slots = append(slots, out)
+	}
+	return slots[len(slots)-1], nil
+}

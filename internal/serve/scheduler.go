@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"bts/internal/ckks"
+)
+
+// job is one queued unit of work: a program over input ciphertexts bound to
+// a session.
+type job struct {
+	sess     *session
+	ops      []Op
+	inputs   []*ckks.Ciphertext
+	enqueued time.Time
+	done     chan jobResult
+}
+
+type jobResult struct {
+	ct  *ckks.Ciphertext
+	err error
+}
+
+// dispatch is the scheduler loop. It repeatedly forms a batch — the oldest
+// pending job plus every other pending job compatible with it, up to
+// BatchSize — and executes the batch with one goroutine per job, so the
+// batch's ciphertexts are simultaneously in flight across the context's
+// limb-parallel engine. Jobs are compatible when they target the same
+// session: they share the evaluator and key material, so batching them keeps
+// the key-switching working set hot, exactly the cross-ciphertext batching
+// the paper credits for accelerator throughput.
+//
+// Up to Parallel batches execute concurrently (a semaphore bounds them), so
+// distinct tenants overlap on the shared engine instead of taking turns.
+//
+// When taking the oldest job would yield a batch smaller than BatchSize and
+// a BatchWindow is configured, the dispatcher lingers once for up to the
+// window to let concurrent submitters fill the batch.
+func (s *Server) dispatch() {
+	defer close(s.dispatcherDone)
+	sem := make(chan struct{}, s.cfg.Parallel)
+	var batches sync.WaitGroup
+	defer batches.Wait()
+	for {
+		s.mu.Lock()
+		for len(s.pending) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if s.closed {
+			pending := s.pending
+			s.pending = nil
+			s.mu.Unlock()
+			for _, j := range pending {
+				j.sess.stats.dequeued()
+				j.done <- jobResult{err: errServerClosed}
+			}
+			return
+		}
+		batch := s.takeBatchLocked()
+		if batch == nil {
+			// Linger: drop the lock so submitters can extend the queue, then
+			// re-collect. takeBatchLocked never returns nil twice in a row.
+			s.mu.Unlock()
+			time.Sleep(s.cfg.BatchWindow)
+			continue
+		}
+		s.mu.Unlock()
+		sem <- struct{}{}
+		batches.Add(1)
+		go func(batch []*job) {
+			defer batches.Done()
+			defer func() { <-sem }()
+			s.runBatch(batch)
+		}(batch)
+	}
+}
+
+// takeBatchLocked forms a batch from the pending queue (caller holds s.mu).
+// It returns nil at most once per batch to request a linger pass when the
+// batch would be undersized; the linger flag resets once a batch is taken.
+func (s *Server) takeBatchLocked() []*job {
+	head := s.pending[0]
+	// Count the batch first — the queue must stay intact if we linger.
+	size := 1
+	for _, j := range s.pending[1:] {
+		if size < s.cfg.BatchSize && j.sess == head.sess {
+			size++
+		}
+	}
+	if size < s.cfg.BatchSize && s.cfg.BatchWindow > 0 && !s.lingered {
+		s.lingered = true
+		return nil
+	}
+	s.lingered = false
+	batch := make([]*job, 0, size)
+	batch = append(batch, head)
+	rest := s.pending[:0]
+	for _, j := range s.pending[1:] {
+		if len(batch) < size && j.sess == head.sess {
+			batch = append(batch, j)
+		} else {
+			rest = append(rest, j)
+		}
+	}
+	// Zero the tail so released jobs do not leak through the backing array.
+	for i := len(rest); i < len(s.pending); i++ {
+		s.pending[i] = nil
+	}
+	s.pending = rest
+	head.sess.stats.batchFormed(len(batch))
+	return batch
+}
+
+// runBatch executes every job of a batch concurrently and replies on each
+// job's done channel.
+func (s *Server) runBatch(batch []*job) {
+	var wg sync.WaitGroup
+	for _, j := range batch {
+		wg.Add(1)
+		go func(j *job) {
+			defer wg.Done()
+			ct, err := j.run(s.ctx)
+			j.sess.stats.completed(time.Since(j.enqueued), len(j.ops), err)
+			j.done <- jobResult{ct: ct, err: err}
+		}(j)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,278 @@
+// Package serve is the multi-tenant FHE serving runtime of the repository:
+// the software analogue of the BTS paper's framing of bootstrappable CKKS as
+// a service whose throughput comes from keeping many client ciphertexts in
+// flight, not only from fast kernels (Section 1; FAB makes the same point
+// for FPGA hosts).
+//
+// Clients open named sessions by uploading evaluation keys (relinearization
+// and rotation keys — never the secret key), then submit jobs: small
+// programs of primitive HE ops (Add/Sub/Mult/Rotate/Conjugate/Rescale/
+// Bootstrap) over wire-format ciphertexts. A dispatcher batches compatible
+// jobs (same session: they share key material, keeping key-switching tables
+// hot) and executes each batch with one goroutine per job, so several
+// ciphertexts are in flight across the context's shared limb-parallel
+// ring.Engine at once. Results come from the context's ciphertext pool and
+// every intermediate returns to it, so steady-state serving allocates
+// nothing per job.
+//
+// The package exposes the runtime three ways: the embeddable Server type,
+// an http.Handler speaking the internal/wire format (cmd/btsserve wraps it
+// in a daemon), and a Client for the other side of the socket (used by
+// `btsbench -experiment serve` and the end-to-end tests).
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"bts/internal/ckks"
+	"bts/internal/wire"
+)
+
+// Config parameterizes a Server. The zero value of every tuning knob picks a
+// sensible default; Params is mandatory.
+type Config struct {
+	// Params is the CKKS parameter set every session shares. Clients must
+	// build the identical set (GET /v1/params serves it) or their wire
+	// objects will fail validation.
+	Params ckks.Parameters
+	// Workers sets the execution engine's worker count; 0 keeps the shared
+	// GOMAXPROCS-sized default pool.
+	Workers int
+	// BatchSize caps the number of jobs the dispatcher runs concurrently in
+	// one batch (default 8).
+	BatchSize int
+	// Parallel caps the number of batches in flight at once (default 4).
+	// Batches group jobs of one session; running several batches
+	// concurrently is what lets distinct tenants overlap on the shared
+	// engine, so total ciphertexts in flight ≤ BatchSize × Parallel.
+	Parallel int
+	// BatchWindow is how long the dispatcher lingers for additional
+	// compatible jobs when the queue would otherwise yield a smaller batch.
+	// 0 selects the 200µs default; a negative value disables lingering.
+	BatchWindow time.Duration
+	// MaxQueue bounds the number of queued jobs before Submit fails fast
+	// (default 1024).
+	MaxQueue int
+	// MaxOpsPerJob bounds the program length of a single job (default 64).
+	MaxOpsPerJob int
+	// Bootstrap, when non-nil, builds a bootstrapper for every session whose
+	// rotation keys cover the required rotations, enabling the "bootstrap"
+	// op. The parameter chain must afford BootstrapParams.MinLevels().
+	Bootstrap *ckks.BootstrapParams
+}
+
+func (cfg *Config) applyDefaults() {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 8
+	}
+	if cfg.Parallel <= 0 {
+		cfg.Parallel = 4
+	}
+	if cfg.BatchWindow < 0 {
+		cfg.BatchWindow = 0
+	} else if cfg.BatchWindow == 0 {
+		cfg.BatchWindow = 200 * time.Microsecond
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 1024
+	}
+	if cfg.MaxOpsPerJob <= 0 {
+		cfg.MaxOpsPerJob = 64
+	}
+}
+
+// Server is the serving runtime: a session registry plus a batching
+// dispatcher over one shared ckks.Context. All methods are safe for
+// concurrent use.
+type Server struct {
+	cfg     Config
+	ctx     *ckks.Context
+	codec   *wire.Codec // pooled: decoded ciphertexts recycle through the ctx pool
+	encoder *ckks.Encoder
+	started time.Time
+
+	// bootRotations caches the rotation set bootstrapping needs (probed once
+	// with a keyless evaluator), so /v1/params can tell clients what keys to
+	// generate. Empty when bootstrapping is disabled or unavailable.
+	bootRotations []int
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	pending  []*job
+	closed   bool
+	lingered bool       // the dispatcher already waited one BatchWindow for this batch
+	cond     *sync.Cond // signals the dispatcher that pending/closed changed
+
+	dispatcherDone chan struct{}
+}
+
+// New builds a Server and starts its dispatcher.
+func New(cfg Config) (*Server, error) {
+	cfg.applyDefaults()
+	ctx, err := ckks.NewContext(cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Workers > 0 {
+		ctx.SetWorkers(cfg.Workers)
+	}
+	s := &Server{
+		cfg:      cfg,
+		ctx:      ctx,
+		codec:    wire.NewPooledCodec(ctx),
+		encoder:  ckks.NewEncoder(ctx),
+		started:  time.Now(),
+		sessions: make(map[string]*session),
+
+		dispatcherDone: make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	if cfg.Bootstrap != nil {
+		// Probe the rotation requirements with a keyless evaluator; sessions
+		// whose key sets cover them get a working bootstrapper.
+		probe := ckks.NewEvaluator(ctx, s.encoder, nil, nil)
+		bt, err := ckks.NewBootstrapper(ctx, s.encoder, probe, *cfg.Bootstrap)
+		if err != nil {
+			return nil, fmt.Errorf("serve: bootstrap enabled but unavailable: %w", err)
+		}
+		s.bootRotations = bt.Rotations()
+	}
+	go s.dispatch()
+	return s, nil
+}
+
+// Context returns the shared evaluation context (useful for embedding the
+// server in-process, e.g. the load generator's verification path).
+func (s *Server) Context() *ckks.Context { return s.ctx }
+
+// Codec returns the server's pooled wire codec.
+func (s *Server) Codec() *wire.Codec { return s.codec }
+
+// BootstrapRotations returns the rotation amounts a session's key set must
+// cover for the "bootstrap" op, or nil when bootstrapping is disabled.
+func (s *Server) BootstrapRotations() []int {
+	return append([]int(nil), s.bootRotations...)
+}
+
+// OpenSession registers (or replaces) a named session with the given
+// evaluation keys. rlk may be nil (jobs using "mul" will fail); rtks may be
+// nil (jobs using "rot"/"conj" will fail). When the server was built with
+// bootstrapping enabled and the rotation keys cover the required set, the
+// session also gets a bootstrapper.
+func (s *Server) OpenSession(name string, rlk *ckks.SwitchingKey, rtks *ckks.RotationKeySet) error {
+	if name == "" {
+		return fmt.Errorf("serve: empty session name")
+	}
+	eval := ckks.NewEvaluator(s.ctx, s.encoder, rlk, rtks)
+	sess := &session{
+		name:    name,
+		eval:    eval,
+		created: time.Now(),
+	}
+	if s.cfg.Bootstrap != nil && rlk != nil && rtks != nil && coversRotations(s.ctx, rtks, s.bootRotations) {
+		bt, err := ckks.NewBootstrapper(s.ctx, s.encoder, eval, *s.cfg.Bootstrap)
+		if err != nil {
+			return fmt.Errorf("serve: building bootstrapper for session %q: %w", name, err)
+		}
+		sess.bt = bt
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("serve: server closed")
+	}
+	s.sessions[name] = sess
+	return nil
+}
+
+// coversRotations reports whether rtks holds a key for every rotation amount
+// in rots plus conjugation.
+func coversRotations(ctx *ckks.Context, rtks *ckks.RotationKeySet, rots []int) bool {
+	for _, r := range rots {
+		if _, ok := rtks.Keys[ctx.RingQ.GaloisElement(r)]; !ok {
+			return false
+		}
+	}
+	_, ok := rtks.Keys[ctx.RingQ.GaloisConjugate()]
+	return ok
+}
+
+// CloseSession removes a session. In-flight jobs finish; queued jobs for the
+// session fail when dispatched.
+func (s *Server) CloseSession(name string) {
+	s.mu.Lock()
+	delete(s.sessions, name)
+	s.mu.Unlock()
+}
+
+// session lookup helper.
+func (s *Server) session(name string) (*session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[name]
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown session %q", name)
+	}
+	return sess, nil
+}
+
+// Submit enqueues a job and blocks until its result. The inputs remain owned
+// by the caller (the HTTP layer returns pooled inputs to the context pool
+// after the response is written); the returned ciphertext is pooled and the
+// caller should PutCiphertext it once serialized.
+func (s *Server) Submit(sessionName string, ops []Op, inputs []*ckks.Ciphertext) (*ckks.Ciphertext, error) {
+	sess, err := s.session(sessionName)
+	if err != nil {
+		return nil, err
+	}
+	if err := validateOps(ops, len(inputs), s.cfg.MaxOpsPerJob); err != nil {
+		return nil, err
+	}
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("serve: job carries no input ciphertexts")
+	}
+	j := &job{
+		sess:     sess,
+		ops:      ops,
+		inputs:   inputs,
+		enqueued: time.Now(),
+		done:     make(chan jobResult, 1),
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("serve: server closed")
+	}
+	if len(s.pending) >= s.cfg.MaxQueue {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("serve: queue full (%d jobs)", s.cfg.MaxQueue)
+	}
+	s.pending = append(s.pending, j)
+	sess.stats.enqueued()
+	s.cond.Signal()
+	s.mu.Unlock()
+
+	r := <-j.done
+	return r.ct, r.err
+}
+
+// Close stops the dispatcher, failing queued jobs. Open sessions are
+// discarded. Close blocks until the dispatcher has drained.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.dispatcherDone
+		return
+	}
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	<-s.dispatcherDone
+	s.ctx.Close()
+}
+
+// Uptime reports how long the server has been running.
+func (s *Server) Uptime() time.Duration { return time.Since(s.started) }

@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"bts/internal/ckks"
+)
+
+var errServerClosed = errors.New("serve: server closed")
+
+// session is one tenant: a name, the evaluator built from the tenant's
+// uploaded evaluation keys, an optional bootstrapper, and statistics.
+type session struct {
+	name    string
+	eval    *ckks.Evaluator
+	bt      *ckks.Bootstrapper
+	created time.Time
+	stats   sessionStats
+}
+
+// latSamples is the size of the per-session latency reservoir (the last
+// latSamples job latencies back the reported percentiles).
+const latSamples = 4096
+
+// sessionStats tracks per-tenant serving statistics. queueDepth counts jobs
+// submitted but not yet completed (queued + in flight).
+type sessionStats struct {
+	mu         sync.Mutex
+	jobs       uint64
+	ops        uint64
+	errors     uint64
+	batches    uint64
+	maxBatch   int
+	queueDepth int
+	lat        [latSamples]float64 // milliseconds, ring buffer
+	latN       uint64              // total samples ever recorded
+}
+
+func (st *sessionStats) enqueued() {
+	st.mu.Lock()
+	st.queueDepth++
+	st.mu.Unlock()
+}
+
+func (st *sessionStats) dequeued() {
+	st.mu.Lock()
+	st.queueDepth--
+	st.mu.Unlock()
+}
+
+func (st *sessionStats) batchFormed(size int) {
+	st.mu.Lock()
+	st.batches++
+	if size > st.maxBatch {
+		st.maxBatch = size
+	}
+	st.mu.Unlock()
+}
+
+func (st *sessionStats) completed(latency time.Duration, ops int, err error) {
+	st.mu.Lock()
+	st.queueDepth--
+	st.jobs++
+	if err != nil {
+		st.errors++
+	} else {
+		st.ops += uint64(ops)
+	}
+	st.lat[st.latN%latSamples] = latency.Seconds() * 1e3
+	st.latN++
+	st.mu.Unlock()
+}
+
+// SessionStats is the JSON snapshot of one session's counters. Latency
+// percentiles cover the most recent jobs (up to the reservoir size) and are
+// measured submit-to-completion, so they include queueing delay.
+type SessionStats struct {
+	Session        string  `json:"session"`
+	Jobs           uint64  `json:"jobs"`
+	Ops            uint64  `json:"ops"`
+	Errors         uint64  `json:"errors"`
+	QueueDepth     int     `json:"queue_depth"`
+	Batches        uint64  `json:"batches"`
+	MaxBatch       int     `json:"max_batch"`
+	Bootstrappable bool    `json:"bootstrappable"`
+	P50Ms          float64 `json:"p50_ms"`
+	P90Ms          float64 `json:"p90_ms"`
+	P99Ms          float64 `json:"p99_ms"`
+	MaxMs          float64 `json:"max_ms"`
+}
+
+// Stats is the JSON snapshot of the whole server.
+type Stats struct {
+	UptimeSec float64        `json:"uptime_sec"`
+	Workers   int            `json:"workers"`
+	Sessions  []SessionStats `json:"sessions"`
+}
+
+// snapshot captures the session's counters and computes percentiles.
+func (sess *session) snapshot() SessionStats {
+	st := &sess.stats
+	st.mu.Lock()
+	out := SessionStats{
+		Session:        sess.name,
+		Jobs:           st.jobs,
+		Ops:            st.ops,
+		Errors:         st.errors,
+		QueueDepth:     st.queueDepth,
+		Batches:        st.batches,
+		MaxBatch:       st.maxBatch,
+		Bootstrappable: sess.bt != nil,
+	}
+	n := int(st.latN)
+	if n > latSamples {
+		n = latSamples
+	}
+	samples := append([]float64(nil), st.lat[:n]...)
+	st.mu.Unlock()
+
+	if len(samples) > 0 {
+		sort.Float64s(samples)
+		out.P50Ms = Percentile(samples, 50)
+		out.P90Ms = Percentile(samples, 90)
+		out.P99Ms = Percentile(samples, 99)
+		out.MaxMs = samples[len(samples)-1]
+	}
+	return out
+}
+
+// Percentile reads the p-th percentile (nearest-rank) from sorted samples —
+// the single definition shared by server stats and the load generator, so
+// their reported percentiles stay comparable.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// Stats snapshots every session, sorted by name for stable output.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].name < sessions[j].name })
+	out := Stats{
+		UptimeSec: s.Uptime().Seconds(),
+		Workers:   s.ctx.Workers(),
+	}
+	for _, sess := range sessions {
+		out.Sessions = append(out.Sessions, sess.snapshot())
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package wire
+
+import (
+	"sync"
+	"testing"
+
+	"bts/internal/ckks"
+)
+
+// fuzzCodec is built once: context construction (prime generation, NTT
+// tables) is far too slow per fuzz iteration.
+var fuzzCodec = struct {
+	once sync.Once
+	c    *Codec
+	seed [][]byte
+}{}
+
+func getFuzzCodec(f *testing.F) *Codec {
+	fuzzCodec.once.Do(func() {
+		params, err := ckks.NewParameters(ckks.ParametersLiteral{
+			LogN:     4,
+			LogQ:     []int{30, 25},
+			LogP:     31,
+			Dnum:     1,
+			LogScale: 25,
+			H:        4,
+		})
+		if err != nil {
+			f.Fatal(err)
+		}
+		ctx, err := ckks.NewContext(params)
+		if err != nil {
+			f.Fatal(err)
+		}
+		fuzzCodec.c = NewCodec(ctx)
+
+		// Seed corpus: one valid ciphertext plus systematic corruptions.
+		kg := ckks.NewKeyGenerator(ctx, 1)
+		sk := kg.GenSecretKey()
+		enc := ckks.NewEncoder(ctx)
+		encryptor := ckks.NewEncryptorSK(ctx, sk, 2)
+		pt, _ := enc.Encode([]complex128{0.5}, params.MaxLevel(), params.Scale)
+		ct, _ := encryptor.EncryptNew(pt)
+		good, err := fuzzCodec.c.MarshalCiphertext(ct)
+		if err != nil {
+			f.Fatal(err)
+		}
+		fuzzCodec.seed = append(fuzzCodec.seed, good)
+		for _, cut := range []int{0, 4, headerSize, headerSize + 4, len(good) / 2, len(good) - 1} {
+			fuzzCodec.seed = append(fuzzCodec.seed, good[:cut])
+		}
+		for _, off := range []int{0, 4, 5, 6, 10, 14, 22, len(good) - 1} {
+			mut := append([]byte(nil), good...)
+			mut[off] ^= 0xff
+			fuzzCodec.seed = append(fuzzCodec.seed, mut)
+		}
+	})
+	return fuzzCodec.c
+}
+
+// FuzzUnmarshalCiphertext proves the decoder's contract: arbitrary input
+// either yields a valid ciphertext or an error — never a panic, never an
+// out-of-range write.
+func FuzzUnmarshalCiphertext(f *testing.F) {
+	c := getFuzzCodec(f)
+	for _, s := range fuzzCodec.seed {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ct, err := c.UnmarshalCiphertext(data)
+		if err != nil {
+			if ct != nil {
+				t.Fatal("non-nil ciphertext alongside error")
+			}
+			return
+		}
+		// Whatever decoded must satisfy the context's invariants.
+		if ct.Level < 0 || ct.Level > c.Context().RingQ.MaxLevel() {
+			t.Fatalf("decoded level %d out of range", ct.Level)
+		}
+		if ct.C0.Levels() < ct.Level || ct.C1.Levels() < ct.Level {
+			t.Fatal("decoded ciphertext missing residue rows")
+		}
+		for i := 0; i <= ct.Level; i++ {
+			q := c.Context().RingQ.Moduli[i].Q
+			for j := 0; j < c.Context().RingQ.N; j++ {
+				if ct.C0.Coeffs[i][j] >= q || ct.C1.Coeffs[i][j] >= q {
+					t.Fatal("decoded residue out of range")
+				}
+			}
+		}
+	})
+}
