@@ -36,6 +36,15 @@
 // explicit worker counts should Context.Close discarded ones to release
 // their private worker pools.
 //
+// Rotation-heavy workloads additionally run on hoisted key-switching: a
+// ciphertext is decomposed once (ckks.Evaluator.DecomposeNTT) and every
+// rotation of it reuses the decomposition (RotateHoisted, bit-identical to
+// sequential Rotate), while BSGS linear transforms — the bulk of
+// bootstrapping's CoeffToSlot/SlotToCoeff — accumulate baby-step products
+// in the extended QP basis with 128-bit lazy MACs and defer ModDown to once
+// per giant step. `btsbench -experiment hoisting` reports the measured
+// speedup and CI archives it as the repo's perf-trajectory record.
+//
 // # Serving runtime
 //
 // The repository also contains a multi-tenant serving stack over the CKKS

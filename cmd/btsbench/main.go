@@ -2,16 +2,23 @@
 // evaluation section and prints them as text tables (the same rows the root
 // benchmark harness reports). Usage:
 //
-//	btsbench [-experiment all|table1|fig1|fig2|fig3b|table3|table4|fig6|fig7|fig8|fig9|fig10|table5|table6|slowdown|speedup|serve] [-workers N]
+//	btsbench [-experiment all|table1|fig1|fig2|fig3b|table3|table4|fig6|fig7|fig8|fig9|fig10|table5|table6|slowdown|speedup|hoisting|serve] [-workers N]
 //	         [-clients K] [-duration 5s]
 //
-// Two experiments are special: instead of replaying the paper's model they
+// Three experiments are special: instead of replaying the paper's model they
 // measure the host machine and are therefore excluded from "all".
 //
 // The speedup experiment runs the real CKKS library (NTT, HMult
 // key-switching, HRot, HRescale and a reduced-degree bootstrap) serially and
 // then on the limb-parallel execution engine with -workers goroutines,
 // reporting the measured serial-vs-parallel speedup curve.
+//
+// The hoisting experiment compares naive per-rotation key-switching against
+// the hoisted/double-hoisted pipeline on a CoeffToSlot-sized BSGS linear
+// transform and a full small-N bootstrap, printing a JSON report (archived
+// by CI as BENCH_hoisting.json) and exiting non-zero if hoisted rotations
+// are not bit-identical, precision leaves the budget, or the transform
+// speedup falls under 2x.
 //
 // The serve experiment is the serving-runtime load generator: it stands up
 // an in-process btsserve daemon on loopback, drives it with -clients
@@ -62,6 +69,10 @@ func main() {
 	if *which == "speedup" {
 		fmt.Printf("\n===== speedup =====\n")
 		speedup(*workers)
+		ran = true
+	}
+	if *which == "hoisting" {
+		hoisting(*workers)
 		ran = true
 	}
 	if *which == "serve" {

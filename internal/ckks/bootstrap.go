@@ -37,6 +37,11 @@ func (bp BootstrapParams) MinLevels() int {
 // Bootstrapper refreshes exhausted ciphertexts: it takes a level-0 ct and
 // returns an encryption of the same message with levels restored — the op
 // that makes CKKS fully homomorphic and the focus of the BTS accelerator.
+// Its linear-transform phases (CoeffToSlot/SlotToCoeff) run on the hoisted
+// key-switching pipeline (see hoisting.go): one decomposition per input
+// ciphertext, permutation+MAC per baby rotation, and one deferred ModDown
+// per giant step, which is where the bulk of the bootstrap speedup over the
+// naive per-rotation path comes from.
 type Bootstrapper struct {
 	ctx     *Context
 	encoder *Encoder
@@ -100,6 +105,10 @@ func NewBootstrapper(ctx *Context, encoder *Encoder, eval *Evaluator, bp Bootstr
 	}, -1, 1, bp.SineDegree)
 	return bt, nil
 }
+
+// Evaluator returns the evaluator the bootstrapper runs on (the one passed
+// to NewBootstrapper) — benchmarks use it to toggle the transform path.
+func (bt *Bootstrapper) Evaluator() *Evaluator { return bt.eval }
 
 // probeColumns applies transform to each basis vector, returning columns.
 func probeColumns(n int, transform func([]complex128)) [][]complex128 {

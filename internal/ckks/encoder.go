@@ -50,9 +50,22 @@ func (e *Encoder) Slots() int { return e.ctx.Params.Slots() }
 // replicated to fill all slots) into a plaintext at the given level and
 // scale, returned in the NTT domain.
 func (e *Encoder) Encode(values []complex128, level int, scale float64) (*Plaintext, error) {
+	pt, _, err := e.encode(values, level, scale, false)
+	return pt, err
+}
+
+// EncodeQP is Encode plus the same integer polynomial reduced over the
+// special p-chain (full chain, NTT domain). The P-side residues are what the
+// double-hoisted linear transform multiplies against key-switch accumulators
+// that are still in the extended QP basis (the deferred-ModDown path).
+func (e *Encoder) EncodeQP(values []complex128, level int, scale float64) (*Plaintext, *ring.Poly, error) {
+	return e.encode(values, level, scale, true)
+}
+
+func (e *Encoder) encode(values []complex128, level int, scale float64, withP bool) (*Plaintext, *ring.Poly, error) {
 	n := e.Slots()
 	if len(values) == 0 || n%len(values) != 0 {
-		return nil, fmt.Errorf("ckks: %d values cannot fill %d slots", len(values), n)
+		return nil, nil, fmt.Errorf("ckks: %d values cannot fill %d slots", len(values), n)
 	}
 	vals := make([]complex128, n)
 	for i := range vals {
@@ -60,8 +73,12 @@ func (e *Encoder) Encode(values []complex128, level int, scale float64) (*Plaint
 	}
 	e.fftSpecialInv(vals)
 
-	rq := e.ctx.RingQ
+	rq, rp := e.ctx.RingQ, e.ctx.RingP
 	p := rq.NewPolyLevel(level)
+	var pP *ring.Poly
+	if withP {
+		pP = rp.NewPoly(len(rp.Moduli))
+	}
 	// Use the int64 fast path while |coeff·scale| stays well below 2^62;
 	// bootstrapping matrices encoded at multi-prime scales take the
 	// big.Int path.
@@ -81,6 +98,9 @@ func (e *Encoder) Encode(values []complex128, level int, scale float64) (*Plaint
 			coeffs[j+n] = int64(math.Round(imag(vals[j]) * scale))
 		}
 		rq.SetInt64Coeffs(p, coeffs, level)
+		if withP {
+			rp.SetInt64Coeffs(pP, coeffs, rp.MaxLevel())
+		}
 	} else {
 		coeffs := make([]*big.Int, rq.N)
 		sc := new(big.Float).SetPrec(256).SetFloat64(scale)
@@ -89,9 +109,15 @@ func (e *Encoder) Encode(values []complex128, level int, scale float64) (*Plaint
 			coeffs[j+n] = bigRound(new(big.Float).SetPrec(256).SetFloat64(imag(vals[j])), sc)
 		}
 		rq.SetBigCoeffs(p, coeffs, level)
+		if withP {
+			rp.SetBigCoeffs(pP, coeffs, rp.MaxLevel())
+		}
 	}
 	rq.NTT(p, level)
-	return &Plaintext{Value: p, Level: level, Scale: scale}, nil
+	if withP {
+		rp.NTT(pP, rp.MaxLevel())
+	}
+	return &Plaintext{Value: p, Level: level, Scale: scale}, pP, nil
 }
 
 // bigRound returns round(v*scale) as a big integer.

@@ -29,6 +29,10 @@ type Evaluator struct {
 	encoder *Encoder
 	rlk     *SwitchingKey
 	rtks    *RotationKeySet
+
+	// eagerTransforms routes LinearTransform through the reference
+	// one-key-switch-per-rotation path instead of the hoisted pipeline.
+	eagerTransforms bool
 }
 
 // NewEvaluator builds an evaluator. rlk may be nil if no multiplications are
@@ -38,6 +42,13 @@ func NewEvaluator(ctx *Context, encoder *Encoder, rlk *SwitchingKey, rtks *Rotat
 }
 
 func (ev *Evaluator) params() Parameters { return ev.ctx.Params }
+
+// SetEagerTransforms selects the reference (non-hoisted) LinearTransform
+// path when eager is true — one full key-switch per baby-step rotation and
+// one ModDown per diagonal product. It exists so benchmarks and error-budget
+// tests can compare against the hoisted pipeline; leave it off otherwise.
+// Must not be toggled concurrently with evaluation.
+func (ev *Evaluator) SetEagerTransforms(eager bool) { ev.eagerTransforms = eager }
 
 // alignLevels returns min(ct0.Level, ct1.Level).
 func alignLevels(ct0, ct1 *Ciphertext) int {
@@ -278,13 +289,7 @@ func (ev *Evaluator) automorphism(ct *Ciphertext, g uint64) *Ciphertext {
 	if g == 1 {
 		return ev.ctx.copyCiphertextPooled(ct)
 	}
-	if ev.rtks == nil {
-		panic("ckks: rotation without rotation keys")
-	}
-	swk, ok := ev.rtks.Keys[g]
-	if !ok {
-		panic(fmt.Sprintf("ckks: missing rotation key for Galois element %d", g))
-	}
+	swk := ev.rotationKey(g)
 	rq := ev.ctx.RingQ
 	lvl := ct.Level
 	rb := rq.GetPolyNoZero()
@@ -310,8 +315,13 @@ func (ev *Evaluator) automorphism(ct *Ciphertext, g uint64) *Ciphertext {
 // is the pipeline of Fig. 3(a): per decomposition slice, iNTT → BConv
 // (ModUp) → NTT → multiply-accumulate with the evk, then a final ModDown
 // dividing by P (the subtraction-scaling-addition the paper fuses as SSA).
-// All scratch comes from the ring pools — key-switching is the hottest path
-// of the workload and must not allocate per call.
+//
+// This is the single-use form: it streams one slice at a time through a
+// reused scratch pair, so it holds two temporaries regardless of β and
+// allocates nothing per call. Rotation-heavy callers that reuse one
+// decomposition across many rotations instead materialize every slice with
+// decomposeNTT (hoisting.go); the two paths perform the identical op
+// sequence per slice, so their outputs are bit-identical.
 func (ev *Evaluator) keySwitch(d *ring.Poly, lvl int, swk *SwitchingKey, ks0, ks1 *ring.Poly) {
 	ctx := ev.ctx
 	rq, rp := ctx.RingQ, ctx.RingP
@@ -336,22 +346,7 @@ func (ev *Evaluator) keySwitch(d *ring.Poly, lvl int, swk *SwitchingKey, ks0, ks
 	dst := make([][]uint64, 0, lvl+1+lp)
 
 	for j := 0; j < beta; j++ {
-		lo, hi := ctx.groupRange(j, lvl)
-		// ModUp: extend the slice's residues to the rest of the basis.
-		src := dCoeff.Coeffs[lo : hi+1]
-		dst = dst[:0]
-		for i := 0; i <= lvl; i++ {
-			if i < lo || i > hi {
-				dst = append(dst, tmpQ.Coeffs[i])
-			}
-		}
-		dst = append(dst, tmpP.Coeffs...)
-		ctx.modUpExtender(j, lvl).Convert(src, dst)
-		for i := lo; i <= hi; i++ {
-			copy(tmpQ.Coeffs[i], dCoeff.Coeffs[i])
-		}
-		rq.NTT(tmpQ, lvl)
-		rp.NTT(tmpP, lp)
+		dst = ev.modUpSlice(j, lvl, dCoeff, tmpQ, tmpP, dst)
 
 		// Multiply-accumulate with the evk slice (element-wise, Fig. 3a).
 		rq.MulCoeffsAndAdd(tmpQ, swk.Value[j][0].Q, accQ0, lvl)
@@ -370,6 +365,36 @@ func (ev *Evaluator) keySwitch(d *ring.Poly, lvl int, swk *SwitchingKey, ks0, ks
 	rq.PutPoly(accQ1)
 	rq.PutPoly(accQ0)
 	rq.PutPoly(dCoeff)
+}
+
+// modUpSlice runs one decomposition slice of the Fig. 3(a) pipeline: the
+// residues of group j of dCoeff (coefficient domain, level lvl) are extended
+// to the rest of the QP basis (ModUp/BConv), the group rows copied through,
+// and both halves brought to the NTT domain. tmpQ and tmpP are fully
+// overwritten; dst is the reusable BConv target-row view, returned for reuse
+// across slices. Both the streaming keySwitch and the hoisted decomposeNTT
+// run exactly this body per slice — sharing it is what keeps their outputs
+// bit-identical.
+func (ev *Evaluator) modUpSlice(j, lvl int, dCoeff, tmpQ, tmpP *ring.Poly, dst [][]uint64) [][]uint64 {
+	ctx := ev.ctx
+	rq, rp := ctx.RingQ, ctx.RingP
+	lp := rp.MaxLevel()
+	lo, hi := ctx.groupRange(j, lvl)
+	src := dCoeff.Coeffs[lo : hi+1]
+	dst = dst[:0]
+	for i := 0; i <= lvl; i++ {
+		if i < lo || i > hi {
+			dst = append(dst, tmpQ.Coeffs[i])
+		}
+	}
+	dst = append(dst, tmpP.Coeffs...)
+	ctx.modUpExtender(j, lvl).Convert(src, dst)
+	for i := lo; i <= hi; i++ {
+		copy(tmpQ.Coeffs[i], dCoeff.Coeffs[i])
+	}
+	rq.NTT(tmpQ, lvl)
+	rp.NTT(tmpP, lp)
+	return dst
 }
 
 // modDown divides (accQ, accP) by P into out: BConv the P-part onto the

@@ -1,0 +1,223 @@
+package ckks
+
+import (
+	"fmt"
+
+	"bts/internal/ring"
+)
+
+// This file implements hoisted key-switching for rotation-heavy workloads
+// (the optimization FAB exploits for bootstrapping's linear-transform
+// phases, and HS18 introduced for HElib): when many rotations of the *same*
+// ciphertext are needed — every baby step of a BSGS linear transform, i.e.
+// the bulk of CoeffToSlot/SlotToCoeff — the expensive decomposition pipeline
+// (iNTT → ModUp/BConv → NTT per β slice, Fig. 3a) is run once and reused.
+//
+// The factorization is exact: the Galois automorphism is a signed
+// coefficient permutation, ModUp is per-coefficient, and the centered BConv
+// (ring.BasisExtender) is negation-equivariant, so permuting the decomposed
+// slices in the NTT domain (a pure index permutation) is bit-identical to
+// decomposing the permuted ciphertext. A hoisted rotation therefore costs
+// one slice permutation plus the multiply-accumulate against the rotation
+// key and one ModDown — the NTT/iNTT/BConv work, which dominates, is paid
+// once per ciphertext instead of once per rotation.
+//
+// Cost model (β = decomposition slices at the current level):
+//
+//	naive n rotations:   n·(iNTT + β·(BConv + 2 NTT) + β·MAC + 2 ModDown)
+//	hoisted n rotations: 1·(iNTT + β·(BConv + 2 NTT)) + n·(β·(perm + MAC) + 2 ModDown)
+//
+// On top of single hoisted rotations, keySwitchHoistedLazy exposes the
+// *double-hoisted* form used by LinearTransform: the MAC accumulators stay
+// in the extended QP basis so baby-step products can be summed there, with
+// one deferred ModDown per ciphertext component per giant step instead of
+// one per rotation.
+
+// HoistedDecomposition is the reusable key-switch decomposition of one
+// ciphertext's a-polynomial: per decomposition slice j, the ModUp'd residues
+// over the active q-basis and the special p-basis, both in the NTT domain.
+// It is scratch borrowed from the ring pools — callers must Release it when
+// every dependent rotation has been applied, and must not use it after the
+// source ciphertext's level changes.
+type HoistedDecomposition struct {
+	ctx   *Context
+	level int
+	beta  int
+	q     []*ring.Poly // per slice, NTT domain, q-basis rows 0..level
+	p     []*ring.Poly // per slice, NTT domain, full p-basis
+}
+
+// Level returns the ciphertext level the decomposition was taken at.
+func (hd *HoistedDecomposition) Level() int { return hd.level }
+
+// Release returns the decomposition's scratch polynomials to the ring pools.
+// The decomposition must not be used afterwards.
+func (hd *HoistedDecomposition) Release() {
+	for _, p := range hd.q {
+		hd.ctx.RingQ.PutPoly(p)
+	}
+	for _, p := range hd.p {
+		hd.ctx.RingP.PutPoly(p)
+	}
+	hd.q, hd.p = nil, nil
+}
+
+// DecomposeNTT runs the decomposition half of the key-switch pipeline on
+// ct.C1 — per slice: iNTT, ModUp to the rest of the QP basis, NTT — and
+// returns it for reuse across many rotations of ct. See RotateHoisted for
+// the common wrapper; LinearTransform consumes the decomposition directly.
+func (ev *Evaluator) DecomposeNTT(ct *Ciphertext) *HoistedDecomposition {
+	return ev.decomposeNTT(ct.C1, ct.Level)
+}
+
+// decomposeNTT is DecomposeNTT on a bare polynomial (NTT domain, level lvl).
+func (ev *Evaluator) decomposeNTT(d *ring.Poly, lvl int) *HoistedDecomposition {
+	ctx := ev.ctx
+	rq, rp := ctx.RingQ, ctx.RingP
+	lp := rp.MaxLevel()
+	beta := ctx.Params.Beta(lvl)
+	hd := &HoistedDecomposition{
+		ctx:   ctx,
+		level: lvl,
+		beta:  beta,
+		q:     make([]*ring.Poly, 0, beta),
+		p:     make([]*ring.Poly, 0, beta),
+	}
+
+	dCoeff := rq.GetPolyNoZero()
+	rq.CopyLevel(dCoeff, d, lvl)
+	rq.INTT(dCoeff, lvl)
+
+	// Each slice polynomial is fully overwritten by modUpSlice (copied group
+	// rows + BConv output rows), so the slices skip the zeroing pass; dst is
+	// the BConv target-row view, reused across slices. The per-slice body is
+	// shared with the streaming keySwitch, which is what keeps hoisted and
+	// naive outputs bit-identical.
+	dst := make([][]uint64, 0, lvl+1+lp)
+	for j := 0; j < beta; j++ {
+		tmpQ := rq.GetPolyNoZero()
+		tmpP := rp.GetPolyNoZero()
+		dst = ev.modUpSlice(j, lvl, dCoeff, tmpQ, tmpP, dst)
+		hd.q = append(hd.q, tmpQ)
+		hd.p = append(hd.p, tmpP)
+	}
+	rq.PutPoly(dCoeff)
+	return hd
+}
+
+// keySwitchHoistedLazy applies the automorphism X→X^g to every decomposed
+// slice (a pure NTT-domain permutation) and multiply-accumulates against the
+// switching key, leaving the result in the extended QP basis: accQ0/accP0
+// and accQ1/accP1 (all zeroed by the caller) receive the two key components'
+// accumulators *before* the final division by P. Callers either hand them to
+// modDown (single hoisted rotation) or keep summing baby-step products in
+// the extended basis and ModDown once per giant step (double hoisting).
+// g = 1 skips the permutation (plain key-switching reuses this path).
+func (ev *Evaluator) keySwitchHoistedLazy(g uint64, hd *HoistedDecomposition, swk *SwitchingKey, accQ0, accP0, accQ1, accP1 *ring.Poly) {
+	ctx := ev.ctx
+	rq, rp := ctx.RingQ, ctx.RingP
+	lvl, lp := hd.level, rp.MaxLevel()
+	var permQ, permP *ring.Poly
+	if g != 1 {
+		permQ = rq.GetPolyNoZero()
+		permP = rp.GetPolyNoZero()
+	}
+	for j := 0; j < hd.beta; j++ {
+		sq, sp := hd.q[j], hd.p[j]
+		if g != 1 {
+			rq.AutomorphismNTT(sq, g, permQ, lvl)
+			rp.AutomorphismNTT(sp, g, permP, lp)
+			sq, sp = permQ, permP
+		}
+		// Multiply-accumulate with the evk slice (element-wise, Fig. 3a).
+		rq.MulCoeffsAndAdd(sq, swk.Value[j][0].Q, accQ0, lvl)
+		rp.MulCoeffsAndAdd(sp, swk.Value[j][0].P, accP0, lp)
+		rq.MulCoeffsAndAdd(sq, swk.Value[j][1].Q, accQ1, lvl)
+		rp.MulCoeffsAndAdd(sp, swk.Value[j][1].P, accP1, lp)
+	}
+	if g != 1 {
+		rp.PutPoly(permP)
+		rq.PutPoly(permQ)
+	}
+}
+
+// keySwitchHoisted is the eager form: MAC against the key under the
+// automorphism g, then ModDown both components into (ks0, ks1).
+func (ev *Evaluator) keySwitchHoisted(g uint64, hd *HoistedDecomposition, swk *SwitchingKey, ks0, ks1 *ring.Poly) {
+	ctx := ev.ctx
+	rq, rp := ctx.RingQ, ctx.RingP
+	lvl, lp := hd.level, rp.MaxLevel()
+	accQ0 := rq.GetPoly(lvl)
+	accQ1 := rq.GetPoly(lvl)
+	accP0 := rp.GetPoly(lp)
+	accP1 := rp.GetPoly(lp)
+	ev.keySwitchHoistedLazy(g, hd, swk, accQ0, accP0, accQ1, accP1)
+	ev.modDown(accQ0, accP0, lvl, ks0)
+	ev.modDown(accQ1, accP1, lvl, ks1)
+	rp.PutPoly(accP1)
+	rp.PutPoly(accP0)
+	rq.PutPoly(accQ1)
+	rq.PutPoly(accQ0)
+}
+
+// rotationKey returns the switching key for the Galois element g, panicking
+// with the same diagnostics as the naive rotation path.
+func (ev *Evaluator) rotationKey(g uint64) *SwitchingKey {
+	if ev.rtks == nil {
+		panic("ckks: rotation without rotation keys")
+	}
+	swk, ok := ev.rtks.Keys[g]
+	if !ok {
+		panic(fmt.Sprintf("ckks: missing rotation key for Galois element %d", g))
+	}
+	return swk
+}
+
+// RotateHoisted returns HRot(ct, r) for every rotation amount in rotations,
+// decomposing ct once and reusing the decomposition across all of them.
+// Each output is bit-identical to the corresponding Rotate(ct, r) call;
+// duplicate amounts map to a single result. Outputs are pooled ciphertexts —
+// callers done with them may return each via Context.PutCiphertext.
+func (ev *Evaluator) RotateHoisted(ct *Ciphertext, rotations []int) map[int]*Ciphertext {
+	rq := ev.ctx.RingQ
+	// Validate every key before borrowing any scratch, so a missing key
+	// panics without leaking pool objects.
+	for _, r := range rotations {
+		if g := rq.GaloisElement(r); g != 1 {
+			ev.rotationKey(g)
+		}
+	}
+	hd := ev.DecomposeNTT(ct)
+	defer hd.Release()
+	out := make(map[int]*Ciphertext, len(rotations))
+	for _, r := range rotations {
+		if _, done := out[r]; done {
+			continue
+		}
+		out[r] = ev.rotateHoisted(ct, r, hd)
+	}
+	return out
+}
+
+// rotateHoisted applies one rotation using a prepared decomposition of ct.
+func (ev *Evaluator) rotateHoisted(ct *Ciphertext, r int, hd *HoistedDecomposition) *Ciphertext {
+	rq := ev.ctx.RingQ
+	g := rq.GaloisElement(r)
+	if g == 1 {
+		return ev.ctx.copyCiphertextPooled(ct)
+	}
+	swk := ev.rotationKey(g)
+	lvl := hd.level
+	ks0 := rq.GetPolyNoZero()
+	ks1 := rq.GetPolyNoZero()
+	ev.keySwitchHoisted(g, hd, swk, ks0, ks1)
+	rb := rq.GetPolyNoZero()
+	rq.AutomorphismNTT(ct.C0, g, rb, lvl)
+	out := ev.ctx.getCiphertextNoZero(lvl, ct.Scale)
+	rq.Add(rb, ks0, out.C0, lvl)
+	rq.CopyLevel(out.C1, ks1, lvl)
+	rq.PutPoly(rb)
+	rq.PutPoly(ks1)
+	rq.PutPoly(ks0)
+	return out
+}

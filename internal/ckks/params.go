@@ -6,6 +6,30 @@
 // This is the workload library that the BTS accelerator executes; the
 // internal/sim package models how its primitive functions (NTT, iNTT, BConv,
 // element-wise ops, automorphism) map onto the accelerator's hardware.
+//
+// # Hoisted key-switching
+//
+// Rotation-heavy paths — BSGS linear transforms, and therefore the
+// CoeffToSlot/SlotToCoeff phases that dominate bootstrapping — do not pay
+// the full key-switch pipeline per rotation. DecomposeNTT runs the
+// decomposition half (iNTT → ModUp/BConv → NTT per slice, Fig. 3a) once per
+// ciphertext; each rotation of that ciphertext then costs an NTT-domain
+// slice permutation plus the multiply-accumulate against its rotation key
+// (hoisting, exposed as RotateHoisted — bit-identical to Rotate because the
+// centered BConv commutes exactly with the Galois permutation). On top,
+// LinearTransform evaluates double-hoisted: baby-step products stay in the
+// extended QP basis, every diagonal is folded in with unreduced 128-bit
+// lazy MACs (ring.Acc128), and each giant step pays a single deferred
+// ModDown per ciphertext component. The cost model per transform is
+//
+//	1 decomposition + (per baby rotation: permutation + MAC)
+//	+ (per giant step: 1 ModDown per component + 1 full rotation)
+//
+// instead of one full key-switch per baby step and one ModDown per diagonal
+// group; bsgsSplit weights the BSGS split accordingly. The deferred ModDown
+// also *reduces* noise: its rounding enters once per giant step, unscaled by
+// the plaintext, instead of once per rotation. `btsbench -experiment
+// hoisting` measures both paths and CI archives the report.
 package ckks
 
 import (

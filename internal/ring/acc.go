@@ -1,0 +1,110 @@
+package ring
+
+import (
+	"math/big"
+	"math/bits"
+)
+
+// Acc128 is an extended-precision element-wise accumulator: one row per RNS
+// limb, each coefficient held as an unreduced 128-bit sum (lo, hi interleaved
+// pairs, so a row is 2N words). It implements the lazy multiply-accumulate
+// discipline of the hottest inner loops — sum many residue products without
+// intermediate modular reduction, then reduce once per coefficient with a
+// single Barrett pass (mod.Reduce128 accepts arbitrary 128-bit inputs).
+//
+// Overflow bound: a sum of T products of residues below q stays under 2^128
+// while T·(q-1)² < 2^128 — 2^18 terms for 55-bit moduli, 2^38 for 45-bit.
+// Callers accumulating an input-dependent number of terms must chunk at
+// LazyMACBudget, which evaluates this bound for the ring's widest modulus.
+//
+// Like Poly scratch, accumulators come from a per-ring pool: borrow with
+// GetAcc, return with PutAcc.
+type Acc128 struct {
+	Rows [][]uint64
+}
+
+// LazyMACBudget returns the largest number of unreduced residue products
+// (each below the ring's widest modulus) that can be summed into an Acc128
+// without overflowing 128 bits, capped at 2^30. It is at least 16 for any
+// supported modulus (q < 2^62).
+func (r *Ring) LazyMACBudget() int {
+	maxQ := uint64(0)
+	for _, m := range r.Moduli {
+		if m.Q > maxQ {
+			maxQ = m.Q
+		}
+	}
+	sq := new(big.Int).SetUint64(maxQ - 1)
+	sq.Mul(sq, sq)
+	budget := new(big.Int).Lsh(big.NewInt(1), 128)
+	budget.Sub(budget, big.NewInt(1))
+	budget.Quo(budget, sq)
+	if budget.BitLen() > 30 {
+		return 1 << 30
+	}
+	return int(budget.Int64())
+}
+
+// GetAcc borrows a zeroed accumulator usable up to the given level from the
+// ring's pool. Return it with PutAcc.
+func (r *Ring) GetAcc(level int) *Acc128 {
+	a, _ := r.accPool.Get().(*Acc128)
+	if a == nil {
+		backing := make([]uint64, len(r.Moduli)*2*r.N)
+		a = &Acc128{Rows: make([][]uint64, len(r.Moduli))}
+		for i := range a.Rows {
+			a.Rows[i] = backing[i*2*r.N : (i+1)*2*r.N : (i+1)*2*r.N]
+		}
+	}
+	r.exec.Run(level+1, func(i int) {
+		row := a.Rows[i]
+		for j := range row {
+			row[j] = 0
+		}
+	})
+	return a
+}
+
+// PutAcc returns an accumulator borrowed with GetAcc to the pool.
+func (r *Ring) PutAcc(a *Acc128) {
+	if a == nil {
+		return
+	}
+	if len(a.Rows) != len(r.Moduli) {
+		panic("ring: PutAcc of an accumulator not sized to the full chain")
+	}
+	r.accPool.Put(a)
+}
+
+// MulCoeffsAndAddLazy sets acc += a ⊙ b element-wise on rows [0..level]
+// without modular reduction: each 128-bit product is added into the
+// accumulator with carry. This is the MAC kernel of the double-hoisted
+// linear transform, where one giant step folds every diagonal product into
+// extended-basis accumulators before a single reduction + ModDown.
+func (r *Ring) MulCoeffsAndAddLazy(a, b *Poly, acc *Acc128, level int) {
+	n := r.N
+	r.exec.Run(level+1, func(i int) {
+		ra, rb, ro := a.Coeffs[i], b.Coeffs[i], acc.Rows[i]
+		for j := 0; j < n; j++ {
+			hi, lo := bits.Mul64(ra[j], rb[j])
+			var c uint64
+			ro[2*j], c = bits.Add64(ro[2*j], lo, 0)
+			ro[2*j+1], _ = bits.Add64(ro[2*j+1], hi, c)
+		}
+	})
+}
+
+// ReduceAcc reduces acc into out on rows [0..level]: one Barrett reduction
+// per coefficient, yielding exactly the canonical residues the equivalent
+// chain of reduced multiply-accumulates would have produced (the congruence
+// class of a sum does not depend on when reductions happen).
+func (r *Ring) ReduceAcc(acc *Acc128, out *Poly, level int) {
+	n := r.N
+	r.exec.Run(level+1, func(i int) {
+		br := r.Moduli[i].BRed
+		ra, ro := acc.Rows[i], out.Coeffs[i]
+		for j := 0; j < n; j++ {
+			ro[j] = br.Reduce128(ra[2*j+1], ra[2*j])
+		}
+	})
+}

@@ -3,6 +3,7 @@ package ring
 import (
 	"fmt"
 	"math/big"
+	"math/bits"
 	"sync"
 
 	"bts/internal/mod"
@@ -16,16 +17,30 @@ import (
 //
 // The first stage multiplies each source residue by (Q/q_j)^-1 mod q_j (the
 // BConvU's ModMult in Section 5.2); the second stage is the coefficient-wise
-// multiply-accumulate Σ_j [..]·(Q/q_j) mod p_i (the MMAU). Both stages fan
-// out across the attached execution engine — stage 1 over source limbs,
-// stage 2 over target limbs — and the stage-1 intermediates live in a
-// sync.Pool so repeated conversions allocate nothing.
+// multiply-accumulate Σ_j f(y_j)·(Q/q_j) mod p_i (the MMAU), where f takes
+// the *centered* representative f(y) = y - q_j·[y > q_j/2]. The centered
+// form keeps the conversion overflow in (-nf/2·Q, nf/2·Q) instead of
+// [0, nf·Q) and — crucially for hoisted key-switching — makes the conversion
+// exactly negation-equivariant: Convert(-x) = -Convert(x) residue for
+// residue, so the Galois automorphism (a signed coefficient permutation)
+// commutes bit-exactly with ModUp. Both stages fan out across the attached
+// execution engine — stage 1 over source limbs, stage 2 over target limbs —
+// and the stage-1 intermediates live in a sync.Pool so repeated conversions
+// allocate nothing.
 type BasisExtender struct {
 	from, to []*Modulus
 
 	qhatInv      []uint64   // [(Q/q_j)^-1]_{q_j}
 	qhatInvShoup []uint64   // Shoup companions for the first stage
 	qhatTo       [][]uint64 // qhatTo[j][i] = [Q/q_j] mod to[i].Q
+	halfFrom     []uint64   // (q_j-1)/2, the centering threshold per source limb
+	negQTo       []uint64   // [-Q] mod to[i].Q, the centering correction
+
+	// lazyStage2 selects the 128-bit lazy accumulation in stage 2; it is
+	// cleared at construction when nf unreduced products could overflow
+	// 128 bits (very wide moduli × very long source bases), falling back
+	// to per-term modular reduction.
+	lazyStage2 bool
 
 	exec    *Engine
 	scratch sync.Pool // *convScratch, the stage-1 rows
@@ -64,6 +79,8 @@ func NewBasisExtender(from, to []*Modulus) (*BasisExtender, error) {
 		qhatInv:      make([]uint64, len(from)),
 		qhatInvShoup: make([]uint64, len(from)),
 		qhatTo:       make([][]uint64, len(from)),
+		halfFrom:     make([]uint64, len(from)),
+		negQTo:       make([]uint64, len(to)),
 		exec:         DefaultEngine(),
 	}
 	tmp := new(big.Int)
@@ -77,7 +94,29 @@ func NewBasisExtender(from, to []*Modulus) (*BasisExtender, error) {
 		for i, mt := range to {
 			be.qhatTo[j][i] = tmp.Mod(qhat, new(big.Int).SetUint64(mt.Q)).Uint64()
 		}
+		be.halfFrom[j] = m.Q >> 1
 	}
+	maxFrom, maxTo := uint64(0), uint64(0)
+	for _, m := range from {
+		if m.Q > maxFrom {
+			maxFrom = m.Q
+		}
+	}
+	for i, mt := range to {
+		qmod := tmp.Mod(q, new(big.Int).SetUint64(mt.Q)).Uint64()
+		be.negQTo[i] = mod.Neg(qmod, mt.Q)
+		if mt.Q > maxTo {
+			maxTo = mt.Q
+		}
+	}
+	// Lazy stage 2 sums nf terms, each below q_src·q_tgt (product plus the
+	// conditional centering correction); verify the worst case fits 128
+	// bits, else keep the per-term reduced loop.
+	bound := new(big.Int).SetUint64(maxFrom)
+	bound.Mul(bound, new(big.Int).SetUint64(maxTo))
+	bound.Mul(bound, big.NewInt(int64(len(from))))
+	limit := new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 128), big.NewInt(1))
+	be.lazyStage2 = bound.Cmp(limit) <= 0
 	return be, nil
 }
 
@@ -99,6 +138,13 @@ func (be *BasisExtender) getScratch(nf, n int) *convScratch {
 
 // Convert performs the base conversion on coefficient-domain rows. in must
 // hold len(from) rows; out receives len(to) rows. Rows are length-N slices.
+//
+// Stage 2 uses the centered representative of each stage-1 residue: when
+// y_j > q_j/2 the term contributes (y_j - q_j)·(Q/q_j) = y_j·(Q/q_j) - Q, so
+// the running sum gets the precomputed correction [-Q]_{p_i}. This makes
+// Convert(-x) bit-identical to -Convert(x) (f(q_j - y) = -f(y) exactly for
+// odd q_j), the property the hoisted key-switch relies on to permute
+// decomposed slices instead of re-decomposing permuted ciphertexts.
 func (be *BasisExtender) Convert(in, out [][]uint64) {
 	nf, nt := len(be.from), len(be.to)
 	if len(in) < nf || len(out) < nt {
@@ -116,23 +162,46 @@ func (be *BasisExtender) Convert(in, out [][]uint64) {
 			row[k] = mod.MulShoup(src[k], w, ws, q)
 		}
 	})
-	// Stage 2: out_i = Σ_j y_j * [Q/q_j]_{p_i} (coefficient-wise MAC), one
-	// target limb per task; every task reads all stage-1 rows.
+	// Stage 2: out_i = Σ_j f(y_j) * [Q/q_j]_{p_i} (coefficient-wise MAC), one
+	// target limb per task; every task reads all stage-1 rows. Normally the
+	// sum is accumulated lazily in 128 bits per coefficient and reduced
+	// once (mod.Reduce128 takes arbitrary 128-bit inputs; lazyStage2
+	// certifies the worst case cannot overflow), which produces the same
+	// canonical residues as a chain of reduced adds at a fraction of the
+	// cost; pathologically wide bases take the reduced per-term loop.
 	be.exec.Run(nt, func(i int) {
 		br := be.to[i].BRed
 		qi := be.to[i].Q
+		negQ := be.negQTo[i]
 		dst := out[i]
-		first := be.qhatTo[0][i]
-		src := stage1[0]
-		for k := 0; k < n; k++ {
-			dst[k] = br.Mul(src[k], first)
-		}
-		for j := 1; j < nf; j++ {
-			w := be.qhatTo[j][i]
-			src := stage1[j]
+		if be.lazyStage2 {
 			for k := 0; k < n; k++ {
-				dst[k] = mod.Add(dst[k], br.Mul(src[k], w), qi)
+				var accHi, accLo, c uint64
+				for j := 0; j < nf; j++ {
+					y := stage1[j][k]
+					hi, lo := bits.Mul64(y, be.qhatTo[j][i])
+					if y > be.halfFrom[j] {
+						lo, c = bits.Add64(lo, negQ, 0)
+						hi += c
+					}
+					accLo, c = bits.Add64(accLo, lo, 0)
+					accHi += hi + c
+				}
+				dst[k] = br.Reduce128(accHi, accLo)
 			}
+			return
+		}
+		for k := 0; k < n; k++ {
+			var acc uint64
+			for j := 0; j < nf; j++ {
+				y := stage1[j][k]
+				v := br.Mul(y, be.qhatTo[j][i])
+				if y > be.halfFrom[j] {
+					v = mod.Add(v, negQ, qi)
+				}
+				acc = mod.Add(acc, v, qi)
+			}
+			dst[k] = acc
 		}
 	})
 	be.scratch.Put(scratch)

@@ -254,10 +254,12 @@ func TestSetInt64Coeffs(t *testing.T) {
 }
 
 func TestBasisExtenderCongruenceAndOverflow(t *testing.T) {
-	// The fast BConv of Eq. 9 returns rep(x) + α·Q with rep(x) ∈ [0,Q) and
-	// 0 ≤ α < #source primes; key-switching is designed to absorb the αQ
-	// overflow (Section 4.1). The target base must dominate the source base
-	// for the result to be representable, as in ModUp (P ≥ Q_j).
+	// The fast BConv of Eq. 9 with centered stage-2 representatives returns
+	// a value congruent to x mod Q with magnitude below nf·Q/2 (each of the
+	// nf terms is at most q_j/2·(Q/q_j) = Q/2 in magnitude); key-switching
+	// is designed to absorb the α·Q overflow (Section 4.1). The target base
+	// must dominate the source base for the result to be representable, as
+	// in ModUp (P ≥ Q_j).
 	rQ := testRing(t, 5, 2) // Q ≈ 2^90
 	primesP, err := mod.GenerateNTTPrimes(55, 5, 4)
 	if err != nil {
@@ -287,14 +289,85 @@ func TestBasisExtenderCongruenceAndOverflow(t *testing.T) {
 		if diff.Sign() != 0 {
 			t.Fatalf("coeff %d: BConv result not congruent mod Q", j)
 		}
-		// rep(x) ∈ [0,Q) and α < nf, so 0 ≤ back < (nf+1)·Q.
-		if back[j].Sign() < 0 {
-			t.Fatalf("coeff %d: BConv produced negative representative %v", j, back[j])
-		}
-		bound := new(big.Int).Mul(q, big.NewInt(nf+1))
-		if back[j].Cmp(bound) >= 0 {
+		// |back| ≤ nf·Q/2 with the centered representatives.
+		bound := new(big.Int).Mul(q, big.NewInt(nf))
+		bound.Rsh(bound, 1)
+		if new(big.Int).Abs(back[j]).Cmp(bound) > 0 {
 			t.Fatalf("coeff %d: BConv overflow too large: %v", j, back[j])
 		}
+	}
+}
+
+func TestAcc128MatchesEagerMAC(t *testing.T) {
+	// A chain of lazy 128-bit multiply-accumulates reduced once must equal
+	// the same chain of reduced MACs: the congruence class of the sum does
+	// not depend on when reductions happen, and both paths end on the
+	// canonical representative.
+	r := testRing(t, 6, 4)
+	lvl := r.MaxLevel()
+	rng := rand.New(rand.NewSource(38))
+	const terms = 9
+	as := make([]*Poly, terms)
+	bs := make([]*Poly, terms)
+	for i := range as {
+		as[i] = r.NewPolyLevel(lvl)
+		bs[i] = r.NewPolyLevel(lvl)
+		r.SampleUniform(rng, as[i], lvl)
+		r.SampleUniform(rng, bs[i], lvl)
+	}
+	want := r.NewPolyLevel(lvl)
+	for i := range as {
+		r.MulCoeffsAndAdd(as[i], bs[i], want, lvl)
+	}
+	acc := r.GetAcc(lvl)
+	for i := range as {
+		r.MulCoeffsAndAddLazy(as[i], bs[i], acc, lvl)
+	}
+	got := r.NewPolyLevel(lvl)
+	r.ReduceAcc(acc, got, lvl)
+	r.PutAcc(acc)
+	if !r.Equal(got, want, lvl) {
+		t.Fatal("lazy 128-bit MAC chain disagrees with eager modular MACs")
+	}
+}
+
+func TestBasisExtenderNegationEquivariance(t *testing.T) {
+	// The hoisted key-switch permutes decomposed slices with the signed
+	// automorphism permutation instead of re-decomposing the permuted
+	// ciphertext; the two orders agree bit for bit only because the centered
+	// BConv satisfies Convert(-x) = -Convert(x) residue for residue.
+	rQ := testRing(t, 6, 3)
+	primesP, err := mod.GenerateNTTPrimes(55, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rP, err := NewRing(6, primesP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := NewBasisExtender(rQ.Moduli, rP.Moduli)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(37))
+	lvl := rQ.MaxLevel()
+	in := rQ.NewPolyLevel(lvl)
+	rQ.SampleUniform(rng, in, lvl)
+	// Force a few exact-zero residue columns to hit the f(0)=0 edge case.
+	for i := 0; i <= lvl; i++ {
+		in.Coeffs[i][3] = 0
+		in.Coeffs[i][7] = 0
+	}
+	neg := rQ.NewPolyLevel(lvl)
+	rQ.Neg(in, neg, lvl)
+	lp := rP.MaxLevel()
+	out := rP.NewPolyLevel(lp)
+	outNeg := rP.NewPolyLevel(lp)
+	be.Convert(in.Coeffs, out.Coeffs)
+	be.Convert(neg.Coeffs, outNeg.Coeffs)
+	rP.Neg(outNeg, outNeg, lp)
+	if !rP.Equal(out, outNeg, lp) {
+		t.Fatal("Convert(-x) != -Convert(x): centered BConv is not negation-equivariant")
 	}
 }
 

@@ -11,25 +11,34 @@ import (
 type OpKind string
 
 const (
-	OpAdd       OpKind = "add"       // slot[a] + slot[b]
-	OpSub       OpKind = "sub"       // slot[a] - slot[b]
-	OpMul       OpKind = "mul"       // slot[a] ⊗ slot[b], relinearized
-	OpRotate    OpKind = "rot"       // slot[a] rotated left by `by`
-	OpConjugate OpKind = "conj"      // slot-wise complex conjugate of slot[a]
-	OpRescale   OpKind = "rescale"   // slot[a] divided by its last prime
-	OpBootstrap OpKind = "bootstrap" // slot[a] refreshed to full levels
+	OpAdd           OpKind = "add"       // slot[a] + slot[b]
+	OpSub           OpKind = "sub"       // slot[a] - slot[b]
+	OpMul           OpKind = "mul"       // slot[a] ⊗ slot[b], relinearized
+	OpRotate        OpKind = "rot"       // slot[a] rotated left by `by`
+	OpRotateHoisted OpKind = "roth"      // slot[a] rotated by each amount in `bys` (one slot per amount)
+	OpConjugate     OpKind = "conj"      // slot-wise complex conjugate of slot[a]
+	OpRescale       OpKind = "rescale"   // slot[a] divided by its last prime
+	OpBootstrap     OpKind = "bootstrap" // slot[a] refreshed to full levels
 )
 
 // Op is one step of a job program. Operands address a slot vector that
 // starts with the job's input ciphertexts (slot 0..k-1 for k inputs); each
-// executed op appends its result as the next slot, and the final slot is the
-// job's result. A/B below -1 or beyond the last produced slot are rejected
-// before the job is queued.
+// executed op appends its result as the next slot — except "roth", which
+// appends one slot per entry of Bys, in Bys order — and the final slot is
+// the job's result. A/B below -1 or beyond the last produced slot are
+// rejected before the job is queued.
+//
+// "roth" is the hoisted multi-rotation: the ciphertext is decomposed for
+// key-switching once and every rotation reuses the decomposition, so a job
+// needing many rotations of one operand should ask for them in a single
+// "roth" instead of a chain of "rot" steps. Each produced slot is
+// bit-identical to the corresponding single "rot".
 type Op struct {
 	Kind OpKind `json:"kind"`
 	A    int    `json:"a"`
-	B    int    `json:"b,omitempty"`  // second operand (add/sub/mul)
-	By   int    `json:"by,omitempty"` // rotation amount (rot)
+	B    int    `json:"b,omitempty"`   // second operand (add/sub/mul)
+	By   int    `json:"by,omitempty"`  // rotation amount (rot)
+	Bys  []int  `json:"bys,omitempty"` // rotation amounts (roth), no duplicates
 }
 
 // binary reports whether the op consumes two ciphertext operands.
@@ -39,19 +48,44 @@ func (o Op) binary() bool {
 
 // validateOps checks a job program against the slot-addressing rules before
 // it is queued: operand indices must reference inputs or earlier results.
+// Toward the op budget, a hoisted multi-rotation counts one unit per
+// rotation it performs (it is one decomposition but len(Bys) key-switch
+// MACs, so a single "roth" must not smuggle an unbounded batch past
+// MaxOpsPerJob).
 func validateOps(ops []Op, inputs, maxOps int) error {
 	if len(ops) == 0 {
 		return fmt.Errorf("serve: job has no ops")
 	}
-	if len(ops) > maxOps {
-		return fmt.Errorf("serve: job has %d ops, limit is %d", len(ops), maxOps)
-	}
+	cost := 0
+	avail := inputs // slots visible to the next op
 	for i, op := range ops {
-		avail := inputs + i // slots visible to op i
+		produced := 1
 		switch op.Kind {
 		case OpAdd, OpSub, OpMul, OpRotate, OpConjugate, OpRescale, OpBootstrap:
+			cost++
+		case OpRotateHoisted:
+			if len(op.Bys) == 0 {
+				return fmt.Errorf("serve: op %d: roth with no rotation amounts", i)
+			}
+			// Enforce the budget before the per-amount work below, so a
+			// huge Bys list is rejected in O(1) rather than validated.
+			if cost+len(op.Bys) > maxOps {
+				return fmt.Errorf("serve: job has over %d ops, limit is %d", maxOps, maxOps)
+			}
+			seen := make(map[int]bool, len(op.Bys))
+			for _, by := range op.Bys {
+				if seen[by] {
+					return fmt.Errorf("serve: op %d: duplicate rotation amount %d in roth", i, by)
+				}
+				seen[by] = true
+			}
+			produced = len(op.Bys)
+			cost += len(op.Bys)
 		default:
 			return fmt.Errorf("serve: op %d: unknown kind %q", i, op.Kind)
+		}
+		if cost > maxOps {
+			return fmt.Errorf("serve: job has over %d ops, limit is %d", maxOps, maxOps)
 		}
 		if op.A < 0 || op.A >= avail {
 			return fmt.Errorf("serve: op %d: operand a=%d outside [0,%d)", i, op.A, avail)
@@ -59,6 +93,7 @@ func validateOps(ops []Op, inputs, maxOps int) error {
 		if op.binary() && (op.B < 0 || op.B >= avail) {
 			return fmt.Errorf("serve: op %d: operand b=%d outside [0,%d)", i, op.B, avail)
 		}
+		avail += produced
 	}
 	return nil
 }
@@ -96,6 +131,17 @@ func (j *job) run(ctx *ckks.Context) (result *ckks.Ciphertext, err error) {
 			out = ev.MulRelin(slots[op.A], slots[op.B])
 		case OpRotate:
 			out = ev.Rotate(slots[op.A], op.By)
+		case OpRotateHoisted:
+			// One shared decomposition for the whole batch; validation
+			// rejected duplicate amounts, so each produced slot is a
+			// distinct pooled ciphertext and the release loop below stays
+			// single-Put. All but the last append here; the last falls
+			// through to the shared append.
+			rotated := ev.RotateHoisted(slots[op.A], op.Bys)
+			for _, by := range op.Bys[:len(op.Bys)-1] {
+				slots = append(slots, rotated[by])
+			}
+			out = rotated[op.Bys[len(op.Bys)-1]]
 		case OpConjugate:
 			out = ev.Conjugate(slots[op.A])
 		case OpRescale:

@@ -6,8 +6,11 @@
 //
 // Clients open named sessions by uploading evaluation keys (relinearization
 // and rotation keys — never the secret key), then submit jobs: small
-// programs of primitive HE ops (Add/Sub/Mult/Rotate/Conjugate/Rescale/
-// Bootstrap) over wire-format ciphertexts. A dispatcher batches compatible
+// programs of primitive HE ops (Add/Sub/Mult/Rotate/RotateHoisted/
+// Conjugate/Rescale/Bootstrap) over wire-format ciphertexts. Rotation-heavy
+// jobs should batch rotations of one operand into a single hoisted "roth"
+// step, which decomposes the ciphertext for key-switching once and reuses
+// it across all requested amounts (see internal/ckks hoisting). A dispatcher batches compatible
 // jobs (same session: they share key material, keeping key-switching tables
 // hot) and executes each batch with one goroutine per job, so several
 // ciphertexts are in flight across the context's shared limb-parallel

@@ -90,6 +90,17 @@ func TestValidateOps(t *testing.T) {
 		{"chained", []Op{{Kind: OpRotate, A: 0, By: 1}, {Kind: OpMul, A: 1, B: 0}, {Kind: OpRescale, A: 2}}, 1, true},
 		{"negative operand", []Op{{Kind: OpRescale, A: -1}}, 1, false},
 		{"result reference", []Op{{Kind: OpMul, A: 0, B: 0}, {Kind: OpAdd, A: 1, B: 1}}, 1, true},
+		{"hoisted rotations", []Op{{Kind: OpRotateHoisted, A: 0, Bys: []int{1, 2, -1}}}, 1, true},
+		{"hoisted empty", []Op{{Kind: OpRotateHoisted, A: 0}}, 1, false},
+		{"hoisted duplicate", []Op{{Kind: OpRotateHoisted, A: 0, Bys: []int{1, 2, 1}}}, 1, false},
+		{"hoisted slots addressable", []Op{
+			{Kind: OpRotateHoisted, A: 0, Bys: []int{1, 2}},
+			{Kind: OpAdd, A: 1, B: 2},
+		}, 1, true},
+		{"hoisted slot bound", []Op{
+			{Kind: OpRotateHoisted, A: 0, Bys: []int{1, 2}},
+			{Kind: OpAdd, A: 1, B: 3},
+		}, 1, false},
 	}
 	for _, tc := range cases {
 		err := validateOps(tc.ops, tc.inputs, 64)
@@ -99,6 +110,64 @@ func TestValidateOps(t *testing.T) {
 	}
 	if err := validateOps(make([]Op, 65), 1, 64); err == nil {
 		t.Error("over-long program should be rejected")
+	}
+	// Each hoisted rotation counts toward the op budget individually.
+	if err := validateOps([]Op{{Kind: OpRotateHoisted, A: 0, Bys: []int{1, 2, 3}}}, 1, 2); err == nil {
+		t.Error("roth batch exceeding the op budget should be rejected")
+	}
+}
+
+// TestRotateHoistedJob submits a program whose rotations ride one hoisted
+// decomposition and checks the combined result decrypts correctly.
+func TestRotateHoistedJob(t *testing.T) {
+	params := testParams(t)
+	srv, err := New(Config{Params: params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl := newClientSide(t, params, 300, []int{1, 2, 3})
+	if err := srv.OpenSession("tenant-h", cl.rlk, cl.rtks); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	slots := params.Slots()
+	values := make([]complex128, slots)
+	for i := range values {
+		values[i] = complex(2*rng.Float64()-1, 0)
+	}
+	pt, _ := cl.encoder.Encode(values, params.MaxLevel(), params.Scale)
+	ct, err := cl.enc.EncryptNew(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// slot1..3 = rotations by 1,2,3; then sum them.
+	ops := []Op{
+		{Kind: OpRotateHoisted, A: 0, Bys: []int{1, 2, 3}},
+		{Kind: OpAdd, A: 1, B: 2},
+		{Kind: OpAdd, A: 4, B: 3},
+	}
+	result, err := srv.Submit("tenant-h", ops, []*ckks.Ciphertext{ct})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]complex128, slots)
+	for i := range want {
+		want[i] = values[(i+1)%slots] + values[(i+2)%slots] + values[(i+3)%slots]
+	}
+	got := cl.encoder.Decode(cl.dec.DecryptNew(result))
+	if e := maxAbsErr(got, want); e > 1e-4 {
+		t.Fatalf("hoisted rotation job error %g", e)
+	}
+	srv.Context().PutCiphertext(result)
+
+	// A missing rotation key inside the hoisted batch must fail the job,
+	// not the server.
+	if _, err := srv.Submit("tenant-h", []Op{{Kind: OpRotateHoisted, A: 0, Bys: []int{1, 7}}}, []*ckks.Ciphertext{ct}); err == nil {
+		t.Fatal("expected job error for missing rotation key in roth batch")
 	}
 }
 

@@ -5,6 +5,16 @@
 // exchanges — and overlapped against the off-chip streaming of evaluation
 // keys, with a software-managed scratchpad caching ciphertexts (LRU) under
 // the priority order temp data > prefetched evk > ct cache.
+//
+// Calibration caveat: the software library's bootstrap op mix changed when
+// internal/ckks gained hoisted key-switching — its linear transforms now
+// perform one decomposition per input plus per-rotation permutation+MAC and
+// one deferred ModDown per giant step, instead of a full HRot key-switch per
+// baby step. The workload traces here still expand HRot into the full
+// per-rotation pipeline, so a software-vs-simulator calibration cross-check
+// (ROADMAP open item) must count hoisted rotations separately: for a BSGS
+// transform, only giant-step rotations map to full HRot ops, while baby
+// steps cost a fraction (automorphism + element-wise MAC, no (i)NTT/BConv).
 package sim
 
 import (
