@@ -19,17 +19,20 @@
 //
 // # Execution engine
 //
-// The CKKS library executes on a limb-parallel engine (ring.Engine): every
-// NTT, element-wise op, automorphism and base conversion is expressed as one
-// independent task per RNS limb and fanned out across a worker pool — the
-// software analogue of the paper's thesis that Full-RNS CKKS exposes massive
-// residue-polynomial-level parallelism. A context created by NewScheme runs
-// on a process-wide pool sized to runtime.GOMAXPROCS; NewSchemeWorkers (or
-// Context.SetWorkers) picks an explicit worker count, with 0 selecting the
-// serial fallback. Results are bit-identical for every worker count, so the
-// knob is purely a throughput dial: worker counts up to the number of
-// physical cores scale near-linearly while the active limb count (level+1)
-// exceeds them; beyond that, extra workers idle. Hot operations draw all
+// The CKKS library executes on a two-dimensional execution engine
+// (ring.Engine): every NTT, element-wise op, automorphism and base
+// conversion fans out across a worker pool over RNS limbs and, when the
+// active limbs alone cannot fill the pool (low-level ciphertexts,
+// bootstrapping's tail), over contiguous coefficient blocks within each
+// residue row — the software analogue of the paper's PE grid distributing
+// both limbs and coefficients (Section 4.1). A context created by NewScheme
+// runs on a process-wide pool sized to runtime.GOMAXPROCS (snapshotted at
+// first use); NewSchemeWorkers (or Context.SetWorkers) picks an explicit
+// worker count, with 0 selecting the serial fallback. Results are
+// bit-identical for every worker count and block configuration, so the
+// knobs are purely throughput dials: worker counts up to the number of
+// physical cores scale near-linearly at any level, no longer saturating at
+// the limb count (level+1). Hot operations draw all
 // temporary polynomials from per-ring sync.Pool scratch allocators
 // (ring.GetPoly/PutPoly), so steady-state evaluation and bootstrapping do
 // not allocate. Long-lived processes that create many contexts with

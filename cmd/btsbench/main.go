@@ -2,11 +2,11 @@
 // evaluation section and prints them as text tables (the same rows the root
 // benchmark harness reports). Usage:
 //
-//	btsbench [-experiment all|table1|fig1|fig2|fig3b|table3|table4|fig6|fig7|fig8|fig9|fig10|table5|table6|slowdown|speedup|hoisting|serve] [-workers N]
+//	btsbench [-experiment all|table1|fig1|fig2|fig3b|table3|table4|fig6|fig7|fig8|fig9|fig10|table5|table6|slowdown|speedup|hoisting|sharding|serve] [-workers N]
 //	         [-clients K] [-duration 5s]
 //
-// Three experiments are special: instead of replaying the paper's model they
-// measure the host machine and are therefore excluded from "all".
+// Several experiments are special: instead of replaying the paper's model
+// they measure the host machine and are therefore excluded from "all".
 //
 // The speedup experiment runs the real CKKS library (NTT, HMult
 // key-switching, HRot, HRescale and a reduced-degree bootstrap) serially and
@@ -19,6 +19,15 @@
 // by CI as BENCH_hoisting.json) and exiting non-zero if hoisted rotations
 // are not bit-identical, precision leaves the budget, or the transform
 // speedup falls under 2x.
+//
+// The sharding experiment measures the 2-D (limb × coefficient-block)
+// sharded dispatch against pure limb-parallel dispatch on low-level
+// (level ≤ 3) NTT, element-wise, automorphism and rescale kernels, printing
+// a JSON report (archived by CI as BENCH_sharding.json) and exiting non-zero
+// if any configuration is not bit-identical to serial, or if the
+// NTT/element-wise speedup misses the 2x bar on the levels where sharding
+// has 2x of parallel headroom (limbs ≤ cores/2 — all of level ≤ 3 on an
+// 8-core host).
 //
 // The serve experiment is the serving-runtime load generator: it stands up
 // an in-process btsserve daemon on loopback, drives it with -clients
@@ -73,6 +82,10 @@ func main() {
 	}
 	if *which == "hoisting" {
 		hoisting(*workers)
+		ran = true
+	}
+	if *which == "sharding" {
+		sharding(*workers)
 		ran = true
 	}
 	if *which == "serve" {

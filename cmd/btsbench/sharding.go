@@ -1,0 +1,329 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"bts/internal/mod"
+	"bts/internal/ring"
+)
+
+// shardingReport is the JSON document `-experiment sharding` writes to
+// stdout (CI archives it as BENCH_sharding.json — the next point in the
+// repo's perf-trajectory record after BENCH_hoisting.json). It measures the
+// low-level regime the BTS paper's PE grid is provisioned for: ciphertexts
+// whose remaining limb count is below the core count, where pure
+// limb-parallel dispatch leaves most of the machine idle and the 2-D
+// (limb × coefficient-block) sharded dispatch keeps it busy.
+type shardingReport struct {
+	Experiment string `json:"experiment"`
+	Workers    int    `json:"workers"`
+	HostCores  int    `json:"host_cores"`
+	LogN       int    `json:"logN"`
+	Primes     int    `json:"primes"`
+	BlockSize  int    `json:"block_size"`
+
+	// Results holds one row per (op, level): the serial time, the time under
+	// pure limb-parallel dispatch (sharding disabled by a block size of N),
+	// the time under sharded dispatch, and the sharded-vs-limb-only speedup.
+	Results []shardingResult `json:"results"`
+
+	Gate shardingGate `json:"gate"`
+	Pass bool         `json:"pass"`
+}
+
+type shardingResult struct {
+	Op    string `json:"op"`
+	Level int    `json:"level"`
+	Limbs int    `json:"limbs"`
+
+	SerialMs   float64 `json:"serial_ms"`
+	LimbOnlyMs float64 `json:"limb_only_ms"`
+	ShardedMs  float64 `json:"sharded_ms"`
+	// Speedup is sharded vs limb-only at the same worker count — the gain
+	// attributable purely to the coefficient dimension.
+	Speedup         float64 `json:"speedup"`
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+
+	// BitIdentical confirms serial, limb-only, sharded (default block), and
+	// sharded with an odd block size all produced identical outputs.
+	BitIdentical bool `json:"bit_identical"`
+}
+
+// shardingGate records what the pass/fail verdict enforced. Bit-identity is
+// always fatal, on every host. The ≥2× speedup threshold is enforced over
+// the NTT and element-wise rows (the op families the acceptance bar names;
+// automorphism and rescale rows stay informational) whose limb count leaves
+// sharding at least 2× of parallel headroom — limbs ≤ effective cores / 2,
+// where effective cores = min(workers, NumCPU). On an ≥8-core host that is
+// every level ≤ 3 row (the issue's bar); on a 4-core CI runner the gate
+// still arms for levels 0–1, so a regression that kills the sharding win
+// cannot pass CI green. Hosts with fewer than 4 effective cores (no row has
+// 2× headroom) gate bit-identity only and archive the timings.
+type shardingGate struct {
+	SpeedupEnforced bool    `json:"speedup_enforced"`
+	EffectiveCores  int     `json:"effective_cores"`
+	Threshold       float64 `json:"threshold"`
+	// GatedLevels lists the levels whose ntt/elemwise rows the speedup gate
+	// covered (limbs ≤ effective cores / 2).
+	GatedLevels []int `json:"gated_levels"`
+	// MeanLowLevelSpeedup is the geometric mean of the sharded-vs-limb-only
+	// speedup over the gated rows; the gate requires it to reach Threshold.
+	MeanLowLevelSpeedup float64 `json:"mean_low_level_speedup"`
+	// WorstLowLevelSpeedup is the minimum over the same gated rows; the
+	// gate requires sharding to never regress them (≥ 1.0 after a 10%
+	// noise margin).
+	WorstLowLevelSpeedup float64 `json:"worst_low_level_speedup"`
+}
+
+const shardingGateThreshold = 2.0
+const shardingMaxLevel = 3
+
+// sharding runs the limb-only vs sharded comparison and exits non-zero if
+// bit-identity is violated at any (worker, block) configuration, or — on
+// hosts with enough cores to measure it — if the low-level speedup misses
+// the ≥2× bar, so CI can gate on the report.
+func sharding(workers int) {
+	rep, err := runSharding(workers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sharding bench: %v\n", err)
+		os.Exit(1)
+	}
+	out, _ := json.MarshalIndent(rep, "", "  ")
+	fmt.Println(string(out))
+	if !rep.Pass {
+		fmt.Fprintln(os.Stderr, "sharding bench: contract violated (bit identity or low-level speedup)")
+		os.Exit(1)
+	}
+}
+
+func runSharding(workers int) (*shardingReport, error) {
+	const logN = 14
+	const nPrimes = 8
+	n := 1 << logN
+	if workers < 2 {
+		workers = 2
+	}
+	primes, err := mod.GenerateNTTPrimes(45, logN, nPrimes)
+	if err != nil {
+		return nil, err
+	}
+
+	// Four rings over one prime chain: the serial reference, limb-only
+	// dispatch (block size N disables coefficient sharding), the sharded
+	// engine under test, and an odd-block-size ring for the bit-identity
+	// sweep only.
+	newRing := func(w, block int) (*ring.Ring, error) {
+		r, err := ring.NewRing(logN, primes)
+		if err != nil {
+			return nil, err
+		}
+		r.SetWorkers(w)
+		if block > 0 {
+			r.Exec().SetBlockSize(block)
+		}
+		return r, nil
+	}
+	rSerial, err := newRing(0, 0)
+	if err != nil {
+		return nil, err
+	}
+	rLimb, err := newRing(workers, n)
+	if err != nil {
+		return nil, err
+	}
+	rShard, err := newRing(workers, 0)
+	if err != nil {
+		return nil, err
+	}
+	rOdd, err := newRing(workers, 999)
+	if err != nil {
+		return nil, err
+	}
+	rings := []*ring.Ring{rSerial, rLimb, rShard, rOdd}
+
+	rep := &shardingReport{
+		Experiment: "sharding",
+		Workers:    workers,
+		HostCores:  runtime.NumCPU(),
+		LogN:       logN,
+		Primes:     nPrimes,
+		BlockSize:  rShard.Exec().BlockSize(),
+		Pass:       true,
+	}
+
+	type op struct {
+		name     string
+		minLevel int
+		iters    int
+		run      func(r *ring.Ring, x, y, out *ring.Poly, lvl int)
+	}
+	ops := []op{
+		{"ntt", 0, 12, func(r *ring.Ring, x, _, _ *ring.Poly, lvl int) {
+			r.NTT(x, lvl)
+			r.INTT(x, lvl)
+		}},
+		{"elemwise", 0, 40, func(r *ring.Ring, x, y, out *ring.Poly, lvl int) {
+			r.MulCoeffsAndAdd(x, y, out, lvl)
+			r.Add(out, y, out, lvl)
+			r.MulCoeffs(out, x, out, lvl)
+		}},
+		{"automorphism", 0, 40, func(r *ring.Ring, x, _, out *ring.Poly, lvl int) {
+			r.AutomorphismNTT(x, r.GaloisElement(5), out, lvl)
+		}},
+		{"rescale", 1, 12, func(r *ring.Ring, x, _, _ *ring.Poly, lvl int) {
+			r.DivRoundByLastModulusNTT(x, lvl)
+		}},
+	}
+
+	timeIt := func(iters int, f func()) float64 {
+		f() // warm pools and twiddle/permutation caches
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			f()
+		}
+		return time.Since(start).Seconds() * 1e3 / float64(iters)
+	}
+
+	for lvl := 0; lvl <= shardingMaxLevel && lvl < nPrimes; lvl++ {
+		for _, o := range ops {
+			if lvl < o.minLevel {
+				continue
+			}
+			seed := int64(100*lvl + len(o.name))
+			// Per-ring clones of identical inputs; outputs seeded identically
+			// so accumulating kernels stay comparable.
+			mk := func() (x, y, out *ring.Poly) {
+				x = rSerial.NewPolyLevel(nPrimes - 1)
+				y = rSerial.NewPolyLevel(nPrimes - 1)
+				out = rSerial.NewPolyLevel(nPrimes - 1)
+				rSerial.SampleUniform(rand.New(rand.NewSource(seed)), x, nPrimes-1)
+				rSerial.SampleUniform(rand.New(rand.NewSource(seed+1)), y, nPrimes-1)
+				rSerial.SampleUniform(rand.New(rand.NewSource(seed+2)), out, nPrimes-1)
+				return
+			}
+			res := shardingResult{Op: o.name, Level: lvl, Limbs: lvl + 1, BitIdentical: true}
+
+			// Bit-identity: one application on every ring, all four compared.
+			// The NTT row is checked in two phases — after the forward
+			// transform alone and again after the inverse — so a sharded
+			// NTT bug that the symmetric INTT bug would undo cannot hide
+			// inside the roundtrip.
+			if o.name == "ntt" {
+				var refFwd, refBack *ring.Poly
+				for ri, r := range rings {
+					x, _, _ := mk()
+					r.NTT(x, lvl)
+					fwd := rSerial.CopyNew(x, nPrimes-1)
+					r.INTT(x, lvl)
+					if ri == 0 {
+						refFwd, refBack = fwd, x
+						continue
+					}
+					if !rSerial.Equal(refFwd, fwd, lvl) || !rSerial.Equal(refBack, x, lvl) {
+						res.BitIdentical = false
+						rep.Pass = false
+					}
+				}
+			} else {
+				var refX, refOut *ring.Poly
+				for ri, r := range rings {
+					x, y, out := mk()
+					o.run(r, x, y, out, lvl)
+					if ri == 0 {
+						refX, refOut = x, out
+						continue
+					}
+					if !rSerial.Equal(refX, x, lvl) || !rSerial.Equal(refOut, out, lvl) {
+						res.BitIdentical = false
+						rep.Pass = false
+					}
+				}
+			}
+
+			// Timing: rescale consumes its input's last limb, so it gets a
+			// pre-built fresh input per iteration (allocation outside the
+			// timed region); the other ops re-run on the same operands.
+			if o.name == "rescale" {
+				bench := func(r *ring.Ring) float64 {
+					xs := make([]*ring.Poly, o.iters+1)
+					for i := range xs {
+						xs[i], _, _ = mk()
+					}
+					o.run(r, xs[o.iters], nil, nil, lvl) // warm pools
+					start := time.Now()
+					for i := 0; i < o.iters; i++ {
+						o.run(r, xs[i], nil, nil, lvl)
+					}
+					return time.Since(start).Seconds() * 1e3 / float64(o.iters)
+				}
+				res.SerialMs = bench(rSerial)
+				res.LimbOnlyMs = bench(rLimb)
+				res.ShardedMs = bench(rShard)
+			} else {
+				bench := func(r *ring.Ring) float64 {
+					x, y, out := mk()
+					return timeIt(o.iters, func() { o.run(r, x, y, out, lvl) })
+				}
+				res.SerialMs = bench(rSerial)
+				res.LimbOnlyMs = bench(rLimb)
+				res.ShardedMs = bench(rShard)
+			}
+			if res.ShardedMs > 0 {
+				res.Speedup = res.LimbOnlyMs / res.ShardedMs
+				res.SpeedupVsSerial = res.SerialMs / res.ShardedMs
+			}
+			rep.Results = append(rep.Results, res)
+		}
+	}
+
+	gate := &rep.Gate
+	gate.Threshold = shardingGateThreshold
+	gate.EffectiveCores = workers
+	if c := runtime.NumCPU(); c < gate.EffectiveCores {
+		gate.EffectiveCores = c
+	}
+	logMean := 0.0
+	worst := 0.0
+	gated := 0
+	levelSeen := map[int]bool{}
+	for _, r := range rep.Results {
+		if r.Op != "ntt" && r.Op != "elemwise" {
+			continue
+		}
+		if 2*r.Limbs > gate.EffectiveCores {
+			continue // limb-only dispatch already fills ≥ half the cores
+		}
+		if !levelSeen[r.Level] {
+			levelSeen[r.Level] = true
+			gate.GatedLevels = append(gate.GatedLevels, r.Level)
+		}
+		if gated == 0 || r.Speedup < worst {
+			worst = r.Speedup
+		}
+		if r.Speedup > 0 {
+			logMean += math.Log(r.Speedup)
+		}
+		gated++
+	}
+	gate.SpeedupEnforced = gated > 0
+	if gated > 0 {
+		gate.MeanLowLevelSpeedup = math.Exp(logMean / float64(gated))
+	}
+	gate.WorstLowLevelSpeedup = worst
+	if gate.SpeedupEnforced {
+		// The bar of the issue: sharding must at least double the low-level
+		// element-wise/NTT throughput over limb-only dispatch wherever the
+		// limb count leaves it 2× of headroom (all of level ≤ 3 at ≥ 8
+		// cores), and must never regress a gated op (10% noise margin).
+		if gate.MeanLowLevelSpeedup < gate.Threshold || gate.WorstLowLevelSpeedup < 0.9 {
+			rep.Pass = false
+		}
+	}
+	return rep, nil
+}

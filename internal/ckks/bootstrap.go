@@ -195,8 +195,11 @@ func (bt *Bootstrapper) normalize(ct *Ciphertext) *Ciphertext {
 
 // modRaise lifts a level-0 ciphertext to the full modulus chain by centering
 // each coefficient modulo q0 and re-reducing modulo every q_i. The centered
-// lift is computed once per polynomial; the per-limb re-reduction and forward
-// NTT then fan out across the execution engine (each limb only reads tmp).
+// lift starts from a single residue row, the engine's worst case for
+// limb-only dispatch, so every phase shards: the q0-row iNTT runs
+// stage-sharded (INTTRow dispatches through the engine), the re-reduction
+// fans out limb × coefficient-block, and the forward NTT of all L+1 rows
+// goes through the ring's 2-D NTT dispatch.
 func (bt *Bootstrapper) modRaise(ct *Ciphertext) *Ciphertext {
 	rq := bt.ctx.RingQ
 	L := rq.MaxLevel()
@@ -209,10 +212,10 @@ func (bt *Bootstrapper) modRaise(ct *Ciphertext) *Ciphertext {
 		rq.INTTRow(tmp, 0)
 		q0 := rq.Moduli[0].Q
 		half := q0 >> 1
-		rq.ForEachLimb(L, func(i int) {
+		rq.ForEachLimbBlock(L, func(i, lo, hi int) {
 			qi := rq.Moduli[i].Q
 			row := dst.Coeffs[i]
-			for j := 0; j < rq.N; j++ {
+			for j := lo; j < hi; j++ {
 				v := tmp[j]
 				if v > half { // negative representative
 					neg := q0 - v
@@ -224,8 +227,8 @@ func (bt *Bootstrapper) modRaise(ct *Ciphertext) *Ciphertext {
 					row[j] = v % qi
 				}
 			}
-			rq.NTTRow(row, i)
 		})
+		rq.NTT(dst, L)
 	}
 	return out
 }

@@ -145,7 +145,7 @@ func (ev *Evaluator) AddConst(ct *Ciphertext, c complex128) *Ciphertext {
 	im := int64(math.Round(imag(c) * ct.Scale))
 	if re != 0 {
 		// A constant polynomial has the same value in every NTT slot.
-		rq.ForEachLimb(ct.Level, func(i int) {
+		rq.ForEachLimbBlock(ct.Level, func(i, lo, hi int) {
 			q := rq.Moduli[i].Q
 			var w uint64
 			if re >= 0 {
@@ -154,7 +154,7 @@ func (ev *Evaluator) AddConst(ct *Ciphertext, c complex128) *Ciphertext {
 				w = q - uint64(-re)%q
 			}
 			row := out.C0.Coeffs[i]
-			for j := range row {
+			for j := lo; j < hi; j++ {
 				row[j] = mod.Add(row[j], w, q)
 			}
 		})
@@ -162,7 +162,7 @@ func (ev *Evaluator) AddConst(ct *Ciphertext, c complex128) *Ciphertext {
 	if im != 0 {
 		mono := rq.GetPolyNoZero()
 		one := rq.GetPolyNoZero()
-		rq.ForEachLimb(ct.Level, func(i int) {
+		rq.ForEachLimbBlock(ct.Level, func(i, lo, hi int) {
 			q := rq.Moduli[i].Q
 			var w uint64
 			if im >= 0 {
@@ -171,7 +171,7 @@ func (ev *Evaluator) AddConst(ct *Ciphertext, c complex128) *Ciphertext {
 				w = q - uint64(-im)%q
 			}
 			row := one.Coeffs[i]
-			for j := range row {
+			for j := lo; j < hi; j++ {
 				row[j] = w
 			}
 		})
@@ -399,8 +399,8 @@ func (ev *Evaluator) modUpSlice(j, lvl int, dCoeff, tmpQ, tmpP *ring.Poly, dst [
 
 // modDown divides (accQ, accP) by P into out: BConv the P-part onto the
 // q-basis, subtract, and scale by P^-1 mod q_i (the 1/P step of Eq. 4). The
-// final fused subtract-scale runs limb-parallel with the cached Shoup
-// companions of P^-1.
+// final fused subtract-scale runs limb × coefficient-block sharded with the
+// cached Shoup companions of P^-1, so it stays parallel at low levels.
 func (ev *Evaluator) modDown(accQ, accP *ring.Poly, lvl int, out *ring.Poly) {
 	ctx := ev.ctx
 	rq, rp := ctx.RingQ, ctx.RingP
@@ -409,11 +409,11 @@ func (ev *Evaluator) modDown(accQ, accP *ring.Poly, lvl int, out *ring.Poly) {
 	tmp := rq.GetPolyNoZero()
 	ctx.modDownExtender(lvl).Convert(accP.Coeffs, tmp.Coeffs)
 	rq.NTT(tmp, lvl)
-	rq.ForEachLimb(lvl, func(i int) {
+	rq.ForEachLimbBlock(lvl, func(i, lo, hi int) {
 		q := rq.Moduli[i].Q
 		pInv, pInvShoup := ctx.pInvModQ[i], ctx.pInvModQShoup[i]
 		a, b, o := accQ.Coeffs[i], tmp.Coeffs[i], out.Coeffs[i]
-		for t := 0; t < rq.N; t++ {
+		for t := lo; t < hi; t++ {
 			o[t] = mod.MulShoup(mod.Sub(a[t], b[t], q), pInv, pInvShoup, q)
 		}
 	})

@@ -176,13 +176,13 @@ func (kg *KeyGenerator) genSwitchingKey(sk *SecretKey, sPrime *ring.Poly) *Switc
 		rp.Add(bP, eP, bP, lp)
 
 		lo, hi := ctx.groupRange(j, lq)
-		rq.ForEachLimb(hi-lo, func(k int) {
+		rq.ForEachLimbBlock(hi-lo, func(k, c0, c1 int) {
 			i := lo + k
 			q := rq.Moduli[i].Q
 			br := rq.Moduli[i].BRed
 			w := ctx.pModQ[i]
 			dst, src := bQ.Coeffs[i], sPrime.Coeffs[i]
-			for t := 0; t < rq.N; t++ {
+			for t := c0; t < c1; t++ {
 				dst[t] = addMod(dst[t], br.Mul(w, src[t]), q)
 			}
 		})

@@ -109,8 +109,11 @@ func TestLinearTransformParallelEquivalence(t *testing.T) {
 }
 
 // TestBootstrapParallelEquivalence is the end-to-end check of the issue's
-// acceptance criteria: a full small-N bootstrap with workers > 1 must be
-// bit-identical to the serial pipeline.
+// acceptance criteria: a full small-N bootstrap — starting from a level-0
+// ciphertext, the regime where coefficient-block sharding carries the
+// pipeline's tail — must be bit-identical to the serial run with workers > 1
+// alone and with coefficient-block sharding forced on (a block size far
+// below the default floor so sharding engages at the test's small N).
 func TestBootstrapParallelEquivalence(t *testing.T) {
 	if testing.Short() {
 		t.Skip("bootstrap equivalence skipped with -short")
@@ -119,9 +122,16 @@ func TestBootstrapParallelEquivalence(t *testing.T) {
 	var ref *Ciphertext
 	var refCtx *Context
 	values := randomComplex(rng, 1<<9, 0.7)
-	for _, workers := range []int{0, 4} {
+	for _, cfg := range []struct{ workers, block int }{
+		{0, 0},  // serial reference
+		{4, 0},  // limb-parallel, default block floor
+		{4, 64}, // limb × coefficient-block sharded
+	} {
 		s, bt := bootSetup(t)
-		s.ctx.SetWorkers(workers)
+		s.ctx.SetWorkers(cfg.workers)
+		if cfg.block > 0 {
+			s.ctx.SetBlockSize(cfg.block)
+		}
 		pt, _ := s.encoder.Encode(values, 0, s.params.Scale)
 		ct, err := s.enc.EncryptNew(pt)
 		if err != nil {
@@ -136,6 +146,61 @@ func TestBootstrapParallelEquivalence(t *testing.T) {
 			continue
 		}
 		equalCT(t, refCtx, ref, out)
+	}
+}
+
+// TestShardedEvaluatorEquivalence sweeps the evaluator's primitive ops at
+// every level of the chain — including the low levels where coefficient
+// blocks carry all the parallelism — across worker counts and block sizes,
+// demanding bit-identical ciphertexts vs the serial engine at each step.
+func TestShardedEvaluatorEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	probe := newTestSetup(t, 2, nil)
+	v0 := randomComplex(rng, probe.params.Slots(), 1)
+	v1 := randomComplex(rng, probe.params.Slots(), 1)
+
+	// run exercises every primitive at one level: encode/encrypt at the top,
+	// drop to the target level, then rotate/conjugate/mul/rescale/const ops.
+	run := func(ts *testSetup, lvl int) []*Ciphertext {
+		top := ts.params.MaxLevel()
+		pt0, _ := ts.encoder.Encode(v0, top, ts.params.Scale)
+		pt1, _ := ts.encoder.Encode(v1, top, ts.params.Scale)
+		ct0, _ := ts.enc.EncryptNew(pt0)
+		ct1, _ := ts.enc.EncryptNew(pt1)
+		ct0.DropLevel(lvl)
+		ct1.DropLevel(lvl)
+		out := []*Ciphertext{ct0, ct1}
+		rot := ts.eval.Rotate(ct0, 2)
+		conj := ts.eval.Conjugate(rot)
+		sum := ts.eval.Add(conj, ct1)
+		cadd := ts.eval.AddConst(sum, complex(-0.75, 0.25))
+		out = append(out, rot, conj, sum, cadd)
+		if lvl >= 1 {
+			prod := ts.eval.Rescale(ts.eval.MulRelin(cadd, ct1))
+			out = append(out, prod)
+		}
+		return out
+	}
+
+	for _, workers := range []int{1, 3, runtime.GOMAXPROCS(0)} {
+		for _, block := range []int{16, 33, probe.params.N()} {
+			// Fresh serial/parallel pairs per configuration: the encryptor
+			// RNG is stateful, so both sides must issue the same encrypt
+			// sequence from the same deterministic seed.
+			serial := newTestSetup(t, 2, []int{1, 2, 4})
+			serial.ctx.SetWorkers(0)
+			p := newTestSetup(t, 2, []int{1, 2, 4})
+			p.ctx.SetWorkers(workers)
+			p.ctx.SetBlockSize(block)
+			for lvl := 0; lvl <= serial.params.MaxLevel(); lvl++ {
+				outS := run(serial, lvl)
+				outP := run(p, lvl)
+				for i := range outS {
+					equalCT(t, serial.ctx, outS[i], outP[i])
+				}
+			}
+			p.ctx.Close()
+		}
 	}
 }
 

@@ -35,6 +35,7 @@ package ckks
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 
 	"bts/internal/mod"
@@ -252,8 +253,10 @@ func NewContext(params Parameters) (*Context, error) {
 // SetWorkers rebuilds the context's execution engine with the given worker
 // count and attaches it to both rings and every cached basis extender.
 // n <= 1 (and in particular 0) selects the serial fallback; by default a
-// fresh context runs on GOMAXPROCS workers. Must not be called concurrently
-// with homomorphic operations on this context.
+// fresh context runs on GOMAXPROCS workers. The new engine starts at the
+// default coefficient-block size (call SetBlockSize afterwards to change
+// it). Must not be called concurrently with homomorphic operations on this
+// context.
 func (ctx *Context) SetWorkers(n int) {
 	old := ctx.engine
 	ctx.engine = ring.NewEngine(n)
@@ -275,11 +278,28 @@ func (ctx *Context) SetWorkers(n int) {
 // Workers reports the context's effective worker count (0 = serial).
 func (ctx *Context) Workers() int { return ctx.engine.Workers() }
 
+// SetBlockSize overrides the engine's minimum coefficient-block width for
+// the 2-D (limb × coefficient-block) sharded dispatch; 0 restores
+// ring.DefaultBlockSize, and any value ≥ N disables coefficient sharding
+// (pure limb-parallel dispatch — the benchmark baseline). If the context is
+// still on the process-wide shared engine, a private engine with GOMAXPROCS
+// workers is installed first (exactly as if SetWorkers had been called) so
+// the shared engine's configuration is never mutated — a long-lived process
+// discarding such a context should Close it to release the private pool.
+// Must not be called concurrently with homomorphic operations.
+func (ctx *Context) SetBlockSize(n int) {
+	if ctx.engine == ring.DefaultEngine() {
+		ctx.SetWorkers(runtime.GOMAXPROCS(0))
+	}
+	ctx.engine.SetBlockSize(n)
+}
+
 // Close releases the worker goroutines of a private engine installed by
-// SetWorkers, reverting the context to the shared default engine. Call it
-// when discarding a context that used SetWorkers in a long-lived process;
-// the context remains usable (serially shared-pool) afterwards. Closing a
-// context that never called SetWorkers is a no-op.
+// SetWorkers (or by SetBlockSize, which installs one implicitly), reverting
+// the context to the shared default engine. Call it when discarding a
+// context that used either knob in a long-lived process; the context
+// remains usable (shared-pool) afterwards. Closing a context that never
+// installed a private engine is a no-op.
 func (ctx *Context) Close() {
 	old := ctx.engine
 	if old == ring.DefaultEngine() {

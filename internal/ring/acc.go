@@ -56,9 +56,9 @@ func (r *Ring) GetAcc(level int) *Acc128 {
 			a.Rows[i] = backing[i*2*r.N : (i+1)*2*r.N : (i+1)*2*r.N]
 		}
 	}
-	r.exec.Run(level+1, func(i int) {
+	r.exec.RunBlocks(level+1, 2*r.N, func(i, lo, hi int) {
 		row := a.Rows[i]
-		for j := range row {
+		for j := lo; j < hi; j++ {
 			row[j] = 0
 		}
 	})
@@ -82,14 +82,13 @@ func (r *Ring) PutAcc(a *Acc128) {
 // linear transform, where one giant step folds every diagonal product into
 // extended-basis accumulators before a single reduction + ModDown.
 func (r *Ring) MulCoeffsAndAddLazy(a, b *Poly, acc *Acc128, level int) {
-	n := r.N
-	r.exec.Run(level+1, func(i int) {
+	r.exec.RunBlocks(level+1, r.N, func(i, lo, hi int) {
 		ra, rb, ro := a.Coeffs[i], b.Coeffs[i], acc.Rows[i]
-		for j := 0; j < n; j++ {
-			hi, lo := bits.Mul64(ra[j], rb[j])
+		for j := lo; j < hi; j++ {
+			pHi, pLo := bits.Mul64(ra[j], rb[j])
 			var c uint64
-			ro[2*j], c = bits.Add64(ro[2*j], lo, 0)
-			ro[2*j+1], _ = bits.Add64(ro[2*j+1], hi, c)
+			ro[2*j], c = bits.Add64(ro[2*j], pLo, 0)
+			ro[2*j+1], _ = bits.Add64(ro[2*j+1], pHi, c)
 		}
 	})
 }
@@ -99,11 +98,10 @@ func (r *Ring) MulCoeffsAndAddLazy(a, b *Poly, acc *Acc128, level int) {
 // chain of reduced multiply-accumulates would have produced (the congruence
 // class of a sum does not depend on when reductions happen).
 func (r *Ring) ReduceAcc(acc *Acc128, out *Poly, level int) {
-	n := r.N
-	r.exec.Run(level+1, func(i int) {
+	r.exec.RunBlocks(level+1, r.N, func(i, lo, hi int) {
 		br := r.Moduli[i].BRed
 		ra, ro := acc.Rows[i], out.Coeffs[i]
-		for j := 0; j < n; j++ {
+		for j := lo; j < hi; j++ {
 			ro[j] = br.Reduce128(ra[2*j+1], ra[2*j])
 		}
 	})

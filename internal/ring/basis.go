@@ -24,9 +24,10 @@ import (
 // exactly negation-equivariant: Convert(-x) = -Convert(x) residue for
 // residue, so the Galois automorphism (a signed coefficient permutation)
 // commutes bit-exactly with ModUp. Both stages fan out across the attached
-// execution engine — stage 1 over source limbs, stage 2 over target limbs —
-// and the stage-1 intermediates live in a sync.Pool so repeated conversions
-// allocate nothing.
+// execution engine — stage 1 over source limbs × coefficient blocks, stage 2
+// over target limbs × coefficient blocks (the 2-D sharding keeps short bases
+// parallel, see Engine.RunBlocks) — and the stage-1 intermediates live in a
+// sync.Pool so repeated conversions allocate nothing.
 type BasisExtender struct {
 	from, to []*Modulus
 
@@ -153,29 +154,32 @@ func (be *BasisExtender) Convert(in, out [][]uint64) {
 	n := len(in[0])
 	scratch := be.getScratch(nf, n)
 	stage1 := scratch.rows[:nf]
-	// Stage 1: y_j = [x_j * (Q/q_j)^-1]_{q_j}, one source limb per task.
-	be.exec.Run(nf, func(j int) {
+	// Stage 1: y_j = [x_j * (Q/q_j)^-1]_{q_j}, sharded over source limbs ×
+	// coefficient blocks (each task writes a disjoint segment of one row).
+	be.exec.RunBlocks(nf, n, func(j, lo, hi int) {
 		q := be.from[j].Q
 		w, ws := be.qhatInv[j], be.qhatInvShoup[j]
 		row, src := stage1[j], in[j]
-		for k := 0; k < n; k++ {
+		for k := lo; k < hi; k++ {
 			row[k] = mod.MulShoup(src[k], w, ws, q)
 		}
 	})
-	// Stage 2: out_i = Σ_j f(y_j) * [Q/q_j]_{p_i} (coefficient-wise MAC), one
-	// target limb per task; every task reads all stage-1 rows. Normally the
-	// sum is accumulated lazily in 128 bits per coefficient and reduced
+	// Stage 2: out_i = Σ_j f(y_j) * [Q/q_j]_{p_i} (coefficient-wise MAC),
+	// sharded over target limbs × coefficient blocks; every task reads the
+	// same coefficient range of all stage-1 rows, and the barrier between
+	// the two RunBlocks calls is the stage-1/stage-2 dependency. Normally
+	// the sum is accumulated lazily in 128 bits per coefficient and reduced
 	// once (mod.Reduce128 takes arbitrary 128-bit inputs; lazyStage2
 	// certifies the worst case cannot overflow), which produces the same
 	// canonical residues as a chain of reduced adds at a fraction of the
 	// cost; pathologically wide bases take the reduced per-term loop.
-	be.exec.Run(nt, func(i int) {
+	be.exec.RunBlocks(nt, n, func(i, lo, hi int) {
 		br := be.to[i].BRed
 		qi := be.to[i].Q
 		negQ := be.negQTo[i]
 		dst := out[i]
 		if be.lazyStage2 {
-			for k := 0; k < n; k++ {
+			for k := lo; k < hi; k++ {
 				var accHi, accLo, c uint64
 				for j := 0; j < nf; j++ {
 					y := stage1[j][k]
@@ -191,7 +195,7 @@ func (be *BasisExtender) Convert(in, out [][]uint64) {
 			}
 			return
 		}
-		for k := 0; k < n; k++ {
+		for k := lo; k < hi; k++ {
 			var acc uint64
 			for j := 0; j < nf; j++ {
 				y := stage1[j][k]
@@ -210,9 +214,15 @@ func (be *BasisExtender) Convert(in, out [][]uint64) {
 // DivRoundByLastModulusNTT divides p (rows [0..level], NTT domain) by the
 // last prime q_level with rounding and drops that row: the HRescale
 // operation of Section 2.4. On return, rows [0..level-1] hold the rescaled
-// polynomial in the NTT domain. The shared centered lift of the dropped limb
-// is computed once; the per-limb correction then fans out across the engine
-// with pooled per-worker scratch rows.
+// polynomial in the NTT domain.
+//
+// The operation runs as four engine passes so every phase stays parallel
+// even at the lowest levels, where limb-only dispatch would leave most of
+// the pool idle: (1) the dropped limb's iNTT (stage-sharded when one row
+// cannot fill the pool), (2) the centered-lift reduction of every remaining
+// limb (limb × coefficient-block sharded), (3) the forward NTT of the
+// correction rows (limb- or stage-sharded), and (4) the fused
+// subtract-scale by q_level^-1 (limb × coefficient-block sharded).
 func (r *Ring) DivRoundByLastModulusNTT(p *Poly, level int) {
 	if level == 0 {
 		panic("ring: cannot rescale below level 0")
@@ -225,29 +235,34 @@ func (r *Ring) DivRoundByLastModulusNTT(p *Poly, level int) {
 	last := r.GetRow()
 	defer r.PutRow(last)
 	copy(last, p.Coeffs[level])
-	r.inttRow(last, mL)
+	r.inttRows([][]uint64{last}, []*Modulus{mL})
 
 	// Pre-add q_L/2 so the subsequent per-prime reduction realizes a
 	// centered (rounding) lift rather than a floor.
-	for j := range last {
-		last[j] = mod.Add(last[j], half, qL)
-	}
-
-	r.exec.Run(level, func(i int) {
-		tmp := r.GetRow()
-		defer r.PutRow(tmp)
-		mi := r.Moduli[i]
-		qi := mi.Q
-		halfModQi := mi.BRed.Reduce(half)
-		qInv := mod.Inv(qL%qi, qi)
-		qInvShoup := mod.ShoupPrecomp(qInv, qi)
-		for j := 0; j < r.N; j++ {
-			tmp[j] = mod.Sub(mi.BRed.Reduce(last[j]), halfModQi, qi)
-		}
-		r.nttRow(tmp, mi)
-		row := p.Coeffs[i]
-		for j := 0; j < r.N; j++ {
-			row[j] = mod.MulShoup(mod.Sub(row[j], tmp[j], qi), qInv, qInvShoup, qi)
+	r.exec.RunBlocks(1, r.N, func(_, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			last[j] = mod.Add(last[j], half, qL)
 		}
 	})
+
+	tmp := r.GetPolyNoZero()
+	r.exec.RunBlocks(level, r.N, func(i, lo, hi int) {
+		mi := r.Moduli[i]
+		halfModQi := r.rescaleHalf[level][i]
+		row := tmp.Coeffs[i]
+		for j := lo; j < hi; j++ {
+			row[j] = mod.Sub(mi.BRed.Reduce(last[j]), halfModQi, mi.Q)
+		}
+	})
+	r.nttRows(tmp.Coeffs[:level], r.Moduli[:level])
+	r.exec.RunBlocks(level, r.N, func(i, lo, hi int) {
+		qi := r.Moduli[i].Q
+		qInv := r.rescaleQInv[level][i]
+		qInvShoup := r.rescaleQInvShoup[level][i]
+		row, t := p.Coeffs[i], tmp.Coeffs[i]
+		for j := lo; j < hi; j++ {
+			row[j] = mod.MulShoup(mod.Sub(row[j], t[j], qi), qInv, qInvShoup, qi)
+		}
+	})
+	r.PutPoly(tmp)
 }

@@ -3,13 +3,23 @@ package ring
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// Engine is the limb-parallel execution engine of the software reproduction:
-// a fixed pool of worker goroutines that fans residue-polynomial-indexed tasks
-// out across cores. It is the CPU analogue of the BTS PE grid distributing
-// limbs over lanes (Section 4.1): every kernel in this package is expressed as
-// an independent job per RNS limb and dispatched through an Engine.
+// Engine is the two-dimensional execution engine of the software
+// reproduction: a fixed pool of worker goroutines that fans polynomial
+// kernels out across cores. It is the CPU analogue of the BTS PE grid, which
+// distributes *both* limbs and coefficients over lanes (Section 4.1) so the
+// grid stays busy regardless of a ciphertext's remaining level.
+//
+// Kernels dispatch through two primitives:
+//
+//   - Run(n, fn): one independent task per RNS limb (the original 1-D
+//     limb-parallel form);
+//   - RunBlocks(rows, n, fn): limb × coefficient-block sharding — when fewer
+//     limbs than workers are active, each residue row is additionally split
+//     into contiguous coefficient blocks so rows×blocks ≈ workers, keeping
+//     the whole pool busy on low-level ciphertexts (bootstrapping's tail).
 //
 // An Engine with fewer than two workers executes everything inline on the
 // calling goroutine (the serial fallback); the zero value of *Engine (nil) is
@@ -17,22 +27,30 @@ import (
 // several Rings — the ckks Context shares one Engine between its q- and
 // p-chain rings and all of its BasisExtenders.
 type Engine struct {
-	workers int
-	jobs    chan func()
-	close   sync.Once
+	workers   int
+	blockSize int // minimum coefficient-block width; 0 = DefaultBlockSize
+	jobs      chan func()
+	close     sync.Once
 }
+
+// DefaultBlockSize is the minimum width (in coefficients) of a block handed
+// out by RunBlocks. Blocks narrower than this lose more to dispatch overhead
+// and cache-line sharing than they gain in parallelism, so rows are never
+// split finer; SetBlockSize overrides the floor (tests sweep odd widths, and
+// benchmarks disable sharding entirely by setting it to N).
+const DefaultBlockSize = 1024
 
 // NewEngine returns an engine with the given worker count. workers <= 1
 // yields a serial engine with no goroutines; NewEngine never defaults the
-// count — use DefaultEngine for the GOMAXPROCS-sized shared instance.
+// count — use DefaultEngine for the shared instance.
 func NewEngine(workers int) *Engine {
 	e := &Engine{workers: workers}
 	if workers > 1 {
-		// The jobs channel is deliberately unbuffered: a dispatch hands a
-		// task to a worker only if one is parked in receive, and otherwise
-		// runs the task inline. This keeps the calling goroutine always
-		// making progress, so nested dispatches cannot deadlock the pool.
-		e.jobs = make(chan func())
+		// The jobs channel is buffered: a dispatch *offers* helper tasks to
+		// the pool without ever blocking (offers beyond the buffer are
+		// dropped), and the calling goroutine always works through the task
+		// counter itself, so nested dispatches cannot deadlock the pool.
+		e.jobs = make(chan func(), workers)
 		for i := 0; i < workers; i++ {
 			go func() {
 				for f := range e.jobs {
@@ -49,9 +67,12 @@ var defaultEngine struct {
 	e    *Engine
 }
 
-// DefaultEngine returns the process-wide shared engine, created on first use
-// with runtime.GOMAXPROCS(0) workers. NewRing attaches it by default, so all
-// rings share one worker pool unless given a private engine via SetWorkers.
+// DefaultEngine returns the process-wide shared engine. It snapshots
+// runtime.GOMAXPROCS(0) at first use: the pool is sized once, on the first
+// call, and later changes to GOMAXPROCS do not resize it (restart the
+// process, or install a private engine via SetWorkers, to pick up a new
+// value). NewRing attaches it by default, so all rings share one worker pool
+// unless given a private engine via SetWorkers.
 func DefaultEngine() *Engine {
 	defaultEngine.once.Do(func() {
 		defaultEngine.e = NewEngine(runtime.GOMAXPROCS(0))
@@ -79,9 +100,23 @@ func (e *Engine) Close() {
 
 // Run executes fn(0) .. fn(n-1), fanning the calls out across the worker
 // pool. The calls must be independent (every ring kernel dispatched this way
-// touches a disjoint residue row per index, so results are bit-identical to
+// touches disjoint output words per index, so results are bit-identical to
 // serial execution regardless of schedule). Run returns when all n calls have
 // completed. With a serial engine it is a plain loop.
+//
+// Work distribution goes through a shared index counter rather than one
+// channel send per task: the caller and every helper it recruits pull the
+// next unclaimed index until the counter is exhausted. A worker that is busy
+// at dispatch time but frees up mid-loop still steals the remaining indices
+// the moment it picks a pending helper off the queue; and because the caller
+// keeps re-offering helpers between its own tasks until the full complement
+// is queued, a momentarily full queue (e.g. stale helpers left by earlier
+// Runs on a shared engine) only delays recruitment — it cannot degrade the
+// whole Run to the caller. Helper recruitment is always a non-blocking offer
+// into the buffered jobs channel and the caller always drains the counter
+// itself, so a nested Run issued from inside a task can never deadlock the
+// pool: every claimed index is being executed by a live goroutine, and the
+// nesting only ever waits downward.
 func (e *Engine) Run(n int, fn func(i int)) {
 	if e == nil || e.workers <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
@@ -89,22 +124,112 @@ func (e *Engine) Run(n int, fn func(i int)) {
 		}
 		return
 	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(n)
-	for i := 0; i < n; i++ {
-		i := i
-		task := func() {
-			defer wg.Done()
+	pull := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
 			fn(i)
-		}
-		select {
-		case e.jobs <- task:
-		default:
-			// No worker free right now: run the limb on the caller.
-			task()
+			wg.Done()
 		}
 	}
+	// Recruit up to min(workers, n-1) helpers; a stale helper that fires
+	// after the counter is exhausted returns immediately, so
+	// over-recruiting is harmless. offered is touched only by the caller.
+	helpers := e.workers
+	if n-1 < helpers {
+		helpers = n - 1
+	}
+	offered := 0
+	tryOffer := func() {
+		for offered < helpers {
+			select {
+			case e.jobs <- pull:
+				offered++
+			default:
+				return // queue momentarily full; retry before the next task
+			}
+		}
+	}
+	for {
+		i := int(next.Add(1)) - 1
+		if i >= n {
+			break
+		}
+		tryOffer()
+		fn(i)
+		wg.Done()
+	}
 	wg.Wait()
+}
+
+// blockSizeFloor returns the engine's effective minimum block width.
+func (e *Engine) blockSizeFloor() int {
+	if e == nil || e.blockSize <= 0 {
+		return DefaultBlockSize
+	}
+	return e.blockSize
+}
+
+// SetBlockSize overrides the minimum coefficient-block width used by
+// RunBlocks (0 restores DefaultBlockSize). Setting it to the ring degree N
+// (or anything ≥ N) disables coefficient sharding, reverting to pure
+// limb-parallel dispatch — the baseline the sharding benchmark compares
+// against. Must not be called concurrently with dispatch.
+func (e *Engine) SetBlockSize(n int) {
+	if e == nil {
+		return
+	}
+	e.blockSize = n
+}
+
+// BlockSize reports the engine's effective minimum block width.
+func (e *Engine) BlockSize() int { return e.blockSizeFloor() }
+
+// blockCount returns how many coefficient blocks RunBlocks splits each of
+// the given rows of n coefficients into: 1 when the rows alone can occupy
+// every worker (or the engine is serial), otherwise the smallest count with
+// rows×blocks ≥ workers, capped so no block is narrower than the engine's
+// block-size floor.
+func (e *Engine) blockCount(rows, n int) int {
+	if e == nil || e.workers <= 1 || rows >= e.workers || rows <= 0 {
+		return 1
+	}
+	maxBlocks := n / e.blockSizeFloor()
+	if maxBlocks <= 1 {
+		return 1
+	}
+	b := (e.workers + rows - 1) / rows
+	if b > maxBlocks {
+		b = maxBlocks
+	}
+	return b
+}
+
+// RunBlocks executes fn(i, lo, hi) for every row index i in [0, rows) and
+// every coefficient block [lo, hi) of a partition of [0, n), fanning the
+// rows×blocks tasks out across the pool. It is the 2-D sharded counterpart
+// of Run: when rows (active limbs) < workers, each row is split into
+// contiguous blocks chosen by blockCount so the whole pool stays busy even
+// at low ciphertext levels; when rows alone fill the pool it degenerates to
+// exactly Run with full-width blocks. fn must treat every (row, coefficient)
+// pair independently — all sharded kernels write disjoint words per task, so
+// outputs are bit-identical to serial execution at every (worker, block)
+// configuration.
+func (e *Engine) RunBlocks(rows, n int, fn func(i, lo, hi int)) {
+	b := e.blockCount(rows, n)
+	if b <= 1 {
+		e.Run(rows, func(i int) { fn(i, 0, n) })
+		return
+	}
+	e.Run(rows*b, func(t int) {
+		i, k := t/b, t%b
+		fn(i, k*n/b, (k+1)*n/b)
+	})
 }
 
 // SetEngine attaches an execution engine to the ring (nil reverts to serial).
@@ -141,7 +266,18 @@ func (r *Ring) Workers() int { return r.exec.Workers() }
 // ForEachLimb runs fn once per active limb index 0..level through the ring's
 // engine. fn must treat each limb independently; higher layers (ckks) use
 // this to parallelize their own custom limb loops with the same pool.
+// Prefer ForEachLimbBlock for coefficient loops: it additionally shards each
+// limb when fewer limbs than workers are active.
 func (r *Ring) ForEachLimb(level int, fn func(i int)) { r.exec.Run(level+1, fn) }
+
+// ForEachLimbBlock runs fn(i, lo, hi) for every active limb i in 0..level
+// and every coefficient block [lo, hi) partitioning [0, N), through the
+// ring's engine (see Engine.RunBlocks). fn must treat every (limb,
+// coefficient) pair independently. This is the primitive higher layers use
+// to keep their custom coefficient loops parallel on low-level ciphertexts.
+func (r *Ring) ForEachLimbBlock(level int, fn func(i, lo, hi int)) {
+	r.exec.RunBlocks(level+1, r.N, fn)
+}
 
 // --- Scratch pools ----------------------------------------------------------
 //

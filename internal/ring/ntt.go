@@ -10,28 +10,134 @@ import "bts/internal/mod"
 // The implementation is the standard in-place Cooley–Tukey decimation-in-time
 // network with twiddle factors stored in bit-reversed order, i.e. the exact
 // butterfly the paper's NTTU executes (Butterfly_NTT: X' = X+W·Y, Y' = X-W·Y).
-// Each residue row is an independent transform, so the rows are fanned out
-// across the ring's execution engine (the paper's limb-level parallelism).
+// Each residue row is an independent transform; when the active rows alone
+// can occupy the pool they are fanned out one task per limb (the paper's
+// limb-level parallelism). When they cannot — low-level ciphertexts on a
+// many-core host — the rows are transformed stage by stage with every
+// stage's n/2 butterflies sharded into contiguous index blocks across all
+// rows (the coefficient dimension of the PE grid): butterflies within one
+// stage touch disjoint (j, j+t) pairs, so they are order-independent, and a
+// barrier between stages preserves the network's data dependencies, keeping
+// the output bit-identical to the serial transform.
 func (r *Ring) NTT(p *Poly, level int) {
-	r.exec.Run(level+1, func(i int) {
-		r.nttRow(p.Coeffs[i], r.Moduli[i])
-	})
+	r.nttRows(p.Coeffs[:level+1], r.Moduli[:level+1])
 }
 
 // INTT transforms rows [0..level] of p in place from the NTT domain back to
 // the coefficient domain (Butterfly_iNTT: X' = X+Y, Y' = (X-Y)·W^-1, followed
-// by scaling with N^-1), limb-parallel like NTT.
+// by scaling with N^-1), sharded exactly like NTT.
 func (r *Ring) INTT(p *Poly, level int) {
-	r.exec.Run(level+1, func(i int) {
-		r.inttRow(p.Coeffs[i], r.Moduli[i])
+	r.inttRows(p.Coeffs[:level+1], r.Moduli[:level+1])
+}
+
+// NTTRow transforms a single residue polynomial at prime index i. The
+// transform is sharded across the engine like NTT (a one-row call is the
+// worst case for limb-only dispatch).
+func (r *Ring) NTTRow(row []uint64, i int) {
+	r.nttRows([][]uint64{row}, r.Moduli[i:i+1])
+}
+
+// INTTRow inverse-transforms a single residue polynomial at prime index i,
+// sharded like NTTRow.
+func (r *Ring) INTTRow(row []uint64, i int) {
+	r.inttRows([][]uint64{row}, r.Moduli[i:i+1])
+}
+
+// nttRows forward-transforms rows[i] under moduli ms[i], picking between the
+// two schedules: one task per row when the rows can fill the pool, or the
+// stage-sharded schedule when they cannot.
+func (r *Ring) nttRows(rows [][]uint64, ms []*Modulus) {
+	if r.exec.blockCount(len(rows), r.N/2) <= 1 {
+		r.exec.Run(len(rows), func(i int) { r.nttRow(rows[i], ms[i]) })
+		return
+	}
+	n := r.N
+	t := n
+	for mLen := 1; mLen < n; mLen <<= 1 {
+		t >>= 1
+		r.exec.RunBlocks(len(rows), n/2, func(i, lo, hi int) {
+			nttStageRange(rows[i], ms[i], mLen, t, lo, hi)
+		})
+	}
+}
+
+// inttRows is the inverse counterpart of nttRows; the trailing N^-1 scaling
+// pass is element-wise and sharded over coefficients directly.
+func (r *Ring) inttRows(rows [][]uint64, ms []*Modulus) {
+	if r.exec.blockCount(len(rows), r.N/2) <= 1 {
+		r.exec.Run(len(rows), func(i int) { r.inttRow(rows[i], ms[i]) })
+		return
+	}
+	n := r.N
+	t := 1
+	for mLen := n; mLen > 1; mLen >>= 1 {
+		h := mLen >> 1
+		tt := t
+		r.exec.RunBlocks(len(rows), n/2, func(i, lo, hi int) {
+			inttStageRange(rows[i], ms[i], h, tt, lo, hi)
+		})
+		t <<= 1
+	}
+	r.exec.RunBlocks(len(rows), n, func(i, lo, hi int) {
+		m := ms[i]
+		a := rows[i]
+		for j := lo; j < hi; j++ {
+			a[j] = mod.MulShoup(a[j], m.NInv, m.nInvShoup, m.Q)
+		}
 	})
 }
 
-// NTTRow transforms a single residue polynomial at prime index i.
-func (r *Ring) NTTRow(row []uint64, i int) { r.nttRow(row, r.Moduli[i]) }
+// nttStageRange executes butterflies [lo, hi) of one Cooley–Tukey stage on
+// row a: the stage has mLen groups of t butterflies each, and butterfly b
+// belongs to group g = b/t at offset j = b mod t, touching a[2·g·t+j] and
+// a[2·g·t+j+t]. Distinct butterflies of one stage touch disjoint pairs, so
+// any partition of [0, n/2) is race-free and order-independent.
+func nttStageRange(a []uint64, m *Modulus, mLen, t, lo, hi int) {
+	q := m.Q
+	for b := lo; b < hi; {
+		g := b / t
+		j := b - g*t
+		end := hi - g*t
+		if end > t {
+			end = t
+		}
+		w := m.psiRev[mLen+g]
+		ws := m.psiRevShoup[mLen+g]
+		base := 2 * g * t
+		for ; j < end; j++ {
+			u := a[base+j]
+			v := mod.MulShoup(a[base+j+t], w, ws, q)
+			a[base+j] = mod.Add(u, v, q)
+			a[base+j+t] = mod.Sub(u, v, q)
+		}
+		b = g*t + end
+	}
+}
 
-// INTTRow inverse-transforms a single residue polynomial at prime index i.
-func (r *Ring) INTTRow(row []uint64, i int) { r.inttRow(row, r.Moduli[i]) }
+// inttStageRange is the Gentleman–Sande counterpart: the stage has h groups
+// of t butterflies, butterfly b in group g = b/t at offset j touches
+// a[2·g·t+j] and a[2·g·t+j+t] with twiddle ψ^-1 index h+g.
+func inttStageRange(a []uint64, m *Modulus, h, t, lo, hi int) {
+	q := m.Q
+	for b := lo; b < hi; {
+		g := b / t
+		j := b - g*t
+		end := hi - g*t
+		if end > t {
+			end = t
+		}
+		w := m.psiInvRev[h+g]
+		ws := m.psiInvRevShoup[h+g]
+		base := 2 * g * t
+		for ; j < end; j++ {
+			u := a[base+j]
+			v := a[base+j+t]
+			a[base+j] = mod.Add(u, v, q)
+			a[base+j+t] = mod.MulShoup(mod.Sub(u, v, q), w, ws, q)
+		}
+		b = g*t + end
+	}
+}
 
 func (r *Ring) nttRow(a []uint64, m *Modulus) {
 	n := r.N

@@ -7,17 +7,20 @@ import (
 	"bts/internal/mod"
 )
 
-// Every element-wise kernel below operates on one residue row per RNS limb
-// with no cross-limb dependency, so each dispatches its limb loop through the
-// ring's execution engine (see exec.go) — the software analogue of the
-// paper's element-wise functions running across the PE grid.
+// Every element-wise kernel below operates on independent (limb,
+// coefficient) pairs, so each dispatches through the ring's two-dimensional
+// execution engine (RunBlocks, see exec.go): one task per residue row while
+// the active limbs fill the pool, with each row further split into
+// contiguous coefficient blocks when they don't — the software analogue of
+// the paper's element-wise functions running across the full PE grid at any
+// level.
 
 // Add sets out = a + b element-wise on rows [0..level].
 func (r *Ring) Add(a, b, out *Poly, level int) {
-	r.exec.Run(level+1, func(i int) {
+	r.exec.RunBlocks(level+1, r.N, func(i, lo, hi int) {
 		q := r.Moduli[i].Q
 		ra, rb, ro := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
-		for j := 0; j < r.N; j++ {
+		for j := lo; j < hi; j++ {
 			ro[j] = mod.Add(ra[j], rb[j], q)
 		}
 	})
@@ -25,10 +28,10 @@ func (r *Ring) Add(a, b, out *Poly, level int) {
 
 // Sub sets out = a - b element-wise on rows [0..level].
 func (r *Ring) Sub(a, b, out *Poly, level int) {
-	r.exec.Run(level+1, func(i int) {
+	r.exec.RunBlocks(level+1, r.N, func(i, lo, hi int) {
 		q := r.Moduli[i].Q
 		ra, rb, ro := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
-		for j := 0; j < r.N; j++ {
+		for j := lo; j < hi; j++ {
 			ro[j] = mod.Sub(ra[j], rb[j], q)
 		}
 	})
@@ -36,10 +39,10 @@ func (r *Ring) Sub(a, b, out *Poly, level int) {
 
 // Neg sets out = -a element-wise on rows [0..level].
 func (r *Ring) Neg(a, out *Poly, level int) {
-	r.exec.Run(level+1, func(i int) {
+	r.exec.RunBlocks(level+1, r.N, func(i, lo, hi int) {
 		q := r.Moduli[i].Q
 		ra, ro := a.Coeffs[i], out.Coeffs[i]
-		for j := 0; j < r.N; j++ {
+		for j := lo; j < hi; j++ {
 			ro[j] = mod.Neg(ra[j], q)
 		}
 	})
@@ -48,10 +51,10 @@ func (r *Ring) Neg(a, out *Poly, level int) {
 // MulCoeffs sets out = a ⊙ b element-wise on rows [0..level]. In the NTT
 // domain this is polynomial multiplication.
 func (r *Ring) MulCoeffs(a, b, out *Poly, level int) {
-	r.exec.Run(level+1, func(i int) {
+	r.exec.RunBlocks(level+1, r.N, func(i, lo, hi int) {
 		br := r.Moduli[i].BRed
 		ra, rb, ro := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
-		for j := 0; j < r.N; j++ {
+		for j := lo; j < hi; j++ {
 			ro[j] = br.Mul(ra[j], rb[j])
 		}
 	})
@@ -60,11 +63,11 @@ func (r *Ring) MulCoeffs(a, b, out *Poly, level int) {
 // MulCoeffsAndAdd sets out += a ⊙ b element-wise on rows [0..level]; this is
 // the modular multiply-accumulate the paper's MMAU performs.
 func (r *Ring) MulCoeffsAndAdd(a, b, out *Poly, level int) {
-	r.exec.Run(level+1, func(i int) {
+	r.exec.RunBlocks(level+1, r.N, func(i, lo, hi int) {
 		br := r.Moduli[i].BRed
 		q := r.Moduli[i].Q
 		ra, rb, ro := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
-		for j := 0; j < r.N; j++ {
+		for j := lo; j < hi; j++ {
 			ro[j] = mod.Add(ro[j], br.Mul(ra[j], rb[j]), q)
 		}
 	})
@@ -73,12 +76,12 @@ func (r *Ring) MulCoeffsAndAdd(a, b, out *Poly, level int) {
 // MulScalar sets out = a * s element-wise on rows [0..level] for a uint64
 // scalar s (reduced per prime).
 func (r *Ring) MulScalar(a *Poly, s uint64, out *Poly, level int) {
-	r.exec.Run(level+1, func(i int) {
+	r.exec.RunBlocks(level+1, r.N, func(i, lo, hi int) {
 		m := r.Moduli[i]
 		w := m.BRed.Reduce(s)
 		ws := mod.ShoupPrecomp(w, m.Q)
 		ra, ro := a.Coeffs[i], out.Coeffs[i]
-		for j := 0; j < r.N; j++ {
+		for j := lo; j < hi; j++ {
 			ro[j] = mod.MulShoup(ra[j], w, ws, m.Q)
 		}
 	})
@@ -87,7 +90,7 @@ func (r *Ring) MulScalar(a *Poly, s uint64, out *Poly, level int) {
 // MulScalarInt64 multiplies rows [0..level] by a signed scalar given as
 // int64 (used to fold plaintext constants into polynomials).
 func (r *Ring) MulScalarInt64(a *Poly, s int64, out *Poly, level int) {
-	r.exec.Run(level+1, func(i int) {
+	r.exec.RunBlocks(level+1, r.N, func(i, lo, hi int) {
 		m := r.Moduli[i]
 		var w uint64
 		if s >= 0 {
@@ -97,7 +100,7 @@ func (r *Ring) MulScalarInt64(a *Poly, s int64, out *Poly, level int) {
 		}
 		ws := mod.ShoupPrecomp(w, m.Q)
 		ra, ro := a.Coeffs[i], out.Coeffs[i]
-		for j := 0; j < r.N; j++ {
+		for j := lo; j < hi; j++ {
 			ro[j] = mod.MulShoup(ra[j], w, ws, m.Q)
 		}
 	})
@@ -134,10 +137,12 @@ func (r *Ring) GaloisConjugate() uint64 { return uint64(2*r.N - 1) }
 func (r *Ring) AutomorphismCoeff(p *Poly, g uint64, out *Poly, level int) {
 	n := uint64(r.N)
 	mask := 2*n - 1
-	r.exec.Run(level+1, func(i int) {
+	// Sharded over the *source* index: j ↦ j·g mod 2N is a bijection on
+	// [0,N) up to sign, so tasks write disjoint destinations.
+	r.exec.RunBlocks(level+1, r.N, func(i, lo, hi int) {
 		q := r.Moduli[i].Q
 		src, dst := p.Coeffs[i], out.Coeffs[i]
-		for j := uint64(0); j < n; j++ {
+		for j := uint64(lo); j < uint64(hi); j++ {
 			e := (j * g) & mask
 			if e < n {
 				dst[e] = src[j]
@@ -182,9 +187,9 @@ func (r *Ring) autoIndexNTT(g uint64) []int {
 // AutomorphismNTT applies X -> X^g to rows [0..level] of p in the NTT domain.
 func (r *Ring) AutomorphismNTT(p *Poly, g uint64, out *Poly, level int) {
 	table := r.autoIndexNTT(g)
-	r.exec.Run(level+1, func(i int) {
+	r.exec.RunBlocks(level+1, r.N, func(i, lo, hi int) {
 		src, dst := p.Coeffs[i], out.Coeffs[i]
-		for j := 0; j < r.N; j++ {
+		for j := lo; j < hi; j++ {
 			dst[j] = src[table[j]]
 		}
 	})
@@ -266,10 +271,10 @@ func (r *Ring) MulByMonomialNTT(p *Poly, k int, out *Poly, level int) {
 	if k < 0 {
 		k += twoN
 	}
-	r.exec.Run(level+1, func(i int) {
+	r.exec.RunBlocks(level+1, r.N, func(i, lo, hi int) {
 		m := r.Moduli[i]
 		src, dst := p.Coeffs[i], out.Coeffs[i]
-		for j := 0; j < r.N; j++ {
+		for j := lo; j < hi; j++ {
 			e := (r.evalOrderExponent(j) * k) % twoN
 			var w uint64
 			neg := false

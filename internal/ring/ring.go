@@ -7,6 +7,14 @@
 // package provides the three access-pattern families the paper analyzes:
 // residue-polynomial-wise functions (NTT, iNTT, automorphism), coefficient-wise
 // functions (base conversion), and element-wise functions (modular add/mult).
+//
+// All kernels dispatch through a two-dimensional execution engine (Engine,
+// see exec.go) that parallelizes across RNS limbs and, when the active limbs
+// alone cannot occupy every worker, across contiguous coefficient blocks
+// within each residue row — so speedup does not saturate at the limb count
+// (level+1): low-level ciphertexts keep the whole pool busy, exactly as the
+// paper's PE grid distributes both limbs and coefficients. Outputs are
+// bit-identical to serial execution at every (worker, block) configuration.
 package ring
 
 import (
@@ -46,6 +54,15 @@ type Ring struct {
 	Moduli []*Modulus
 
 	brv []int // bit-reversal permutation of [0,N)
+
+	// Rescale tables, indexed [level][i] for i < level: the per-limb
+	// constants of DivRoundByLastModulusNTT, precomputed once so the
+	// sharded passes don't recompute modular inverses per coefficient
+	// block. rescaleQInv[L][i] = (q_L mod q_i)^-1 mod q_i (with Shoup
+	// companions) and rescaleHalf[L][i] = [q_L/2] mod q_i.
+	rescaleQInv      [][]uint64
+	rescaleQInvShoup [][]uint64
+	rescaleHalf      [][]uint64
 
 	autoCache map[uint64][]int // NTT-domain automorphism index tables
 	autoMu    sync.RWMutex     // guards autoCache for concurrent evaluation
@@ -91,6 +108,22 @@ func NewRing(logN int, primes []uint64) (*Ring, error) {
 			return nil, err
 		}
 		r.Moduli[i] = m
+	}
+	r.rescaleQInv = make([][]uint64, len(primes))
+	r.rescaleQInvShoup = make([][]uint64, len(primes))
+	r.rescaleHalf = make([][]uint64, len(primes))
+	for lvl := 1; lvl < len(primes); lvl++ {
+		qL := r.Moduli[lvl].Q
+		r.rescaleQInv[lvl] = make([]uint64, lvl)
+		r.rescaleQInvShoup[lvl] = make([]uint64, lvl)
+		r.rescaleHalf[lvl] = make([]uint64, lvl)
+		for i := 0; i < lvl; i++ {
+			qi := r.Moduli[i].Q
+			inv := mod.Inv(qL%qi, qi)
+			r.rescaleQInv[lvl][i] = inv
+			r.rescaleQInvShoup[lvl][i] = mod.ShoupPrecomp(inv, qi)
+			r.rescaleHalf[lvl][i] = r.Moduli[i].BRed.Reduce(qL >> 1)
+		}
 	}
 	return r, nil
 }
@@ -182,8 +215,8 @@ func (p *Poly) Levels() int { return len(p.Coeffs) - 1 }
 
 // CopyLevel copies src rows [0..level] into dst.
 func (r *Ring) CopyLevel(dst, src *Poly, level int) {
-	r.exec.Run(level+1, func(i int) {
-		copy(dst.Coeffs[i], src.Coeffs[i])
+	r.exec.RunBlocks(level+1, r.N, func(i, lo, hi int) {
+		copy(dst.Coeffs[i][lo:hi], src.Coeffs[i][lo:hi])
 	})
 }
 
@@ -196,9 +229,9 @@ func (r *Ring) CopyNew(p *Poly, level int) *Poly {
 
 // Zero clears rows [0..level].
 func (r *Ring) Zero(p *Poly, level int) {
-	r.exec.Run(level+1, func(i int) {
+	r.exec.RunBlocks(level+1, r.N, func(i, lo, hi int) {
 		row := p.Coeffs[i]
-		for j := range row {
+		for j := lo; j < hi; j++ {
 			row[j] = 0
 		}
 	})
@@ -250,10 +283,10 @@ func (r *Ring) PolyToBigCentered(p *Poly, level int) []*big.Int {
 // SetBigCoeffs writes centered (or any) big-integer coefficients into p's
 // rows [0..level], reducing each modulo the corresponding prime.
 func (r *Ring) SetBigCoeffs(p *Poly, coeffs []*big.Int, level int) {
-	r.exec.Run(level+1, func(i int) {
+	r.exec.RunBlocks(level+1, r.N, func(i, lo, hi int) {
 		tmp := new(big.Int)
 		qi := new(big.Int).SetUint64(r.Moduli[i].Q)
-		for j := 0; j < r.N; j++ {
+		for j := lo; j < hi; j++ {
 			tmp.Mod(coeffs[j], qi)
 			p.Coeffs[i][j] = tmp.Uint64()
 		}
@@ -262,10 +295,11 @@ func (r *Ring) SetBigCoeffs(p *Poly, coeffs []*big.Int, level int) {
 
 // SetInt64Coeffs writes signed 64-bit coefficients into rows [0..level].
 func (r *Ring) SetInt64Coeffs(p *Poly, coeffs []int64, level int) {
-	r.exec.Run(level+1, func(i int) {
+	r.exec.RunBlocks(level+1, r.N, func(i, lo, hi int) {
 		q := r.Moduli[i].Q
 		row := p.Coeffs[i]
-		for j, c := range coeffs {
+		for j := lo; j < hi; j++ {
+			c := coeffs[j]
 			if c >= 0 {
 				row[j] = uint64(c) % q
 			} else {

@@ -22,21 +22,24 @@ type jobResult struct {
 	err error
 }
 
-// dispatch is the scheduler loop. It repeatedly forms a batch — the oldest
-// pending job plus every other pending job compatible with it, up to
-// BatchSize — and executes the batch with one goroutine per job, so the
-// batch's ciphertexts are simultaneously in flight across the context's
-// limb-parallel engine. Jobs are compatible when they target the same
-// session: they share the evaluator and key material, so batching them keeps
-// the key-switching working set hot, exactly the cross-ciphertext batching
-// the paper credits for accelerator throughput.
+// dispatch is the scheduler loop. It repeatedly forms a batch — up to
+// BatchSize pending jobs of one session, taken in queue order — and executes
+// the batch with one goroutine per job, so the batch's ciphertexts are
+// simultaneously in flight across the context's limb-parallel engine. Jobs
+// are compatible when they target the same session: they share the evaluator
+// and key material, so batching them keeps the key-switching working set
+// hot, exactly the cross-ciphertext batching the paper credits for
+// accelerator throughput.
 //
 // Up to Parallel batches execute concurrently (a semaphore bounds them), so
 // distinct tenants overlap on the shared engine instead of taking turns.
 //
-// When taking the oldest job would yield a batch smaller than BatchSize and
-// a BatchWindow is configured, the dispatcher lingers once for up to the
-// window to let concurrent submitters fill the batch.
+// A session whose pending batch is smaller than BatchSize lingers for up to
+// BatchWindow (a per-session deadline, see takeBatchLocked) to let
+// concurrent submitters fill it; the dispatcher sleeps on the condition
+// variable with a timer wakeup armed for the earliest deadline, so new
+// submissions — for the lingering session or any other — are examined
+// immediately.
 func (s *Server) dispatch() {
 	defer close(s.dispatcherDone)
 	sem := make(chan struct{}, s.cfg.Parallel)
@@ -44,26 +47,26 @@ func (s *Server) dispatch() {
 	defer batches.Wait()
 	for {
 		s.mu.Lock()
-		for len(s.pending) == 0 && !s.closed {
-			s.cond.Wait()
-		}
-		if s.closed {
-			pending := s.pending
-			s.pending = nil
-			s.mu.Unlock()
-			for _, j := range pending {
-				j.sess.stats.dequeued()
-				j.done <- jobResult{err: errServerClosed}
+		var batch []*job
+		for {
+			if s.closed {
+				pending := s.pending
+				s.pending = nil
+				s.mu.Unlock()
+				for _, j := range pending {
+					j.sess.stats.dequeued()
+					j.done <- jobResult{err: errServerClosed}
+				}
+				return
 			}
-			return
-		}
-		batch := s.takeBatchLocked()
-		if batch == nil {
-			// Linger: drop the lock so submitters can extend the queue, then
-			// re-collect. takeBatchLocked never returns nil twice in a row.
-			s.mu.Unlock()
-			time.Sleep(s.cfg.BatchWindow)
-			continue
+			if len(s.pending) > 0 {
+				var wait time.Duration
+				if batch, wait = s.takeBatchLocked(time.Now()); batch != nil {
+					break
+				}
+				s.armWakeupLocked(wait)
+			}
+			s.cond.Wait()
 		}
 		s.mu.Unlock()
 		sem <- struct{}{}
@@ -76,28 +79,82 @@ func (s *Server) dispatch() {
 	}
 }
 
-// takeBatchLocked forms a batch from the pending queue (caller holds s.mu).
-// It returns nil at most once per batch to request a linger pass when the
-// batch would be undersized; the linger flag resets once a batch is taken.
-func (s *Server) takeBatchLocked() []*job {
-	head := s.pending[0]
-	// Count the batch first — the queue must stay intact if we linger.
-	size := 1
-	for _, j := range s.pending[1:] {
-		if size < s.cfg.BatchSize && j.sess == head.sess {
-			size++
+// armWakeupLocked schedules a dispatcher broadcast wait from now (caller
+// holds s.mu), unless an earlier wakeup is already armed. A wakeup that
+// turns out stale is harmless: the dispatcher re-evaluates the queue on
+// every pass.
+func (s *Server) armWakeupLocked(wait time.Duration) {
+	at := time.Now().Add(wait)
+	if !s.wakeAt.IsZero() && !s.wakeAt.After(at) {
+		return
+	}
+	s.wakeAt = at
+	time.AfterFunc(wait, func() {
+		s.mu.Lock()
+		s.wakeAt = time.Time{}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+}
+
+// takeBatchLocked forms the next dispatchable batch from the pending queue
+// (caller holds s.mu). Sessions are considered in order of their oldest
+// pending job; a session's batch is dispatchable when it is full (BatchSize
+// jobs), when lingering is disabled, or when the session's linger deadline —
+// started the first time its undersized batch is seen — has passed. The
+// linger is per session, so one tenant's half-full batch waiting out its
+// window never delays a different tenant's ready batch queued behind it.
+//
+// When no session is dispatchable yet, takeBatchLocked returns nil and the
+// time until the earliest linger deadline, for the caller to arm a wakeup.
+func (s *Server) takeBatchLocked(now time.Time) ([]*job, time.Duration) {
+	counts := make(map[*session]int, len(s.linger)+1)
+	order := make([]*session, 0, len(s.linger)+1)
+	for _, j := range s.pending {
+		if counts[j.sess] == 0 {
+			order = append(order, j.sess)
+		}
+		counts[j.sess]++
+	}
+	// Drop linger deadlines of sessions with nothing queued anymore, so the
+	// map cannot accumulate entries for departed tenants.
+	for sess := range s.linger {
+		if counts[sess] == 0 {
+			delete(s.linger, sess)
 		}
 	}
-	if size < s.cfg.BatchSize && s.cfg.BatchWindow > 0 && !s.lingered {
-		s.lingered = true
-		return nil
+	var take *session
+	wait := time.Duration(-1)
+	for _, sess := range order {
+		if counts[sess] >= s.cfg.BatchSize || s.cfg.BatchWindow <= 0 {
+			take = sess
+			break
+		}
+		dl, lingering := s.linger[sess]
+		if !lingering {
+			dl = now.Add(s.cfg.BatchWindow)
+			s.linger[sess] = dl
+		}
+		if !now.Before(dl) {
+			take = sess
+			break
+		}
+		if w := dl.Sub(now); wait < 0 || w < wait {
+			wait = w
+		}
 	}
-	s.lingered = false
+	if take == nil {
+		return nil, wait
+	}
+	delete(s.linger, take)
+	size := counts[take]
+	if size > s.cfg.BatchSize {
+		size = s.cfg.BatchSize
+	}
 	batch := make([]*job, 0, size)
-	batch = append(batch, head)
 	rest := s.pending[:0]
-	for _, j := range s.pending[1:] {
-		if len(batch) < size && j.sess == head.sess {
+	for _, j := range s.pending {
+		if j.sess == take && len(batch) < size {
 			batch = append(batch, j)
 		} else {
 			rest = append(rest, j)
@@ -108,8 +165,8 @@ func (s *Server) takeBatchLocked() []*job {
 		s.pending[i] = nil
 	}
 	s.pending = rest
-	head.sess.stats.batchFormed(len(batch))
-	return batch
+	take.stats.batchFormed(len(batch))
+	return batch, 0
 }
 
 // runBatch executes every job of a batch concurrently and replies on each

@@ -52,8 +52,11 @@ type Config struct {
 	// engine, so total ciphertexts in flight ≤ BatchSize × Parallel.
 	Parallel int
 	// BatchWindow is how long the dispatcher lingers for additional
-	// compatible jobs when the queue would otherwise yield a smaller batch.
-	// 0 selects the 200µs default; a negative value disables lingering.
+	// compatible jobs when a session's pending batch is smaller than
+	// BatchSize. The linger is tracked per session: while one session's
+	// undersized batch waits out its window, ready batches of other sessions
+	// dispatch immediately. 0 selects the 200µs default; a negative value
+	// disables lingering.
 	BatchWindow time.Duration
 	// MaxQueue bounds the number of queued jobs before Submit fails fast
 	// (default 1024).
@@ -105,8 +108,15 @@ type Server struct {
 	sessions map[string]*session
 	pending  []*job
 	closed   bool
-	lingered bool       // the dispatcher already waited one BatchWindow for this batch
-	cond     *sync.Cond // signals the dispatcher that pending/closed changed
+	// linger holds, per session with an undersized pending batch, the
+	// deadline until which the dispatcher waits for more of that session's
+	// jobs before dispatching the batch anyway. Tracking it per session —
+	// not server-wide — is what lets a ready (full or expired) batch of one
+	// tenant dispatch immediately while another tenant's half-full batch at
+	// the head of the queue is still lingering.
+	linger map[*session]time.Time
+	wakeAt time.Time  // earliest armed linger wakeup (zero = none armed)
+	cond   *sync.Cond // signals the dispatcher that pending/closed changed
 
 	dispatcherDone chan struct{}
 }
@@ -128,6 +138,7 @@ func New(cfg Config) (*Server, error) {
 		encoder:  ckks.NewEncoder(ctx),
 		started:  time.Now(),
 		sessions: make(map[string]*session),
+		linger:   make(map[*session]time.Time),
 
 		dispatcherDone: make(chan struct{}),
 	}

@@ -15,6 +15,18 @@
 // (ROADMAP open item) must count hoisted rotations separately: for a BSGS
 // transform, only giant-step rotations map to full HRot ops, while baby
 // steps cost a fraction (automorphism + element-wise MAC, no (i)NTT/BConv).
+//
+// A second calibration caveat arrived with coefficient-block sharding
+// (ring.Engine.RunBlocks): software timings of *low-level* ops (active
+// limbs < cores) no longer degrade toward serial as the limb count shrinks,
+// because each residue row is additionally sharded into coefficient blocks —
+// including within each NTT butterfly stage. A software-vs-simulator
+// cross-check must therefore not model the host as "limb-parallel only":
+// per-op wall times at level ≤ 3 are now roughly level-independent up to
+// the block-size floor (1024 coefficients), whereas traces replayed here
+// assume the accelerator's fixed lane mapping throughout.
+// `btsbench -experiment sharding` reports the measured low-level timings
+// (BENCH_sharding.json) to calibrate against.
 package sim
 
 import (
