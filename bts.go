@@ -44,9 +44,16 @@
 // rotation of it reuses the decomposition (RotateHoisted, bit-identical to
 // sequential Rotate), while BSGS linear transforms — the bulk of
 // bootstrapping's CoeffToSlot/SlotToCoeff — accumulate baby-step products
-// in the extended QP basis with 128-bit lazy MACs and defer ModDown to once
-// per giant step. `btsbench -experiment hoisting` reports the measured
-// speedup and CI archives it as the repo's perf-trajectory record.
+// in the extended QP basis with 128-bit lazy MACs (the automorphism fused
+// into the MAC's gather index) and defer ModDown to once per giant step.
+// Bootstrapping evaluates those transforms *factored*: CoeffToSlot and
+// SlotToCoeff are chains of sparse radix stages (ckks.TransformChain over
+// the encoder's butterfly-group factorization, dft.go) instead of dense
+// slots×slots matrices, spending ~1.8× fewer key-switch ops and ~2.2×
+// fewer rotation keys at equal precision for one extra level per
+// transform. `btsbench -experiment hoisting` and `-experiment bootstrap`
+// report the measured speedups and CI archives both as the repo's
+// perf-trajectory record.
 //
 // # Serving runtime
 //

@@ -1,0 +1,266 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"bts/internal/ckks"
+	"bts/internal/params"
+	"bts/internal/sim"
+	"bts/internal/workload"
+)
+
+// bootstrapReport is the JSON document `-experiment bootstrap` writes to
+// stdout (CI archives it as BENCH_bootstrap.json). It compares the factored
+// (radix-stage) CoeffToSlot/SlotToCoeff bootstrap pipeline against the dense
+// single-stage reference on the LogN=10 boot instance — rotation-key
+// footprint, measured key-switch op counts, wall time and output precision —
+// and runs the internal/sim calibration cross-check on the staged mix.
+type bootstrapReport struct {
+	Experiment string         `json:"experiment"`
+	Workers    int            `json:"workers"`
+	Params     map[string]any `json:"params"`
+
+	Dense  bootstrapPath `json:"dense"`
+	Staged bootstrapPath `json:"staged"`
+
+	// KeySwitchRatio is dense/staged on the evk-consuming op count (full
+	// key-switches + hoisted rotations) — the Table 2 economy the factored
+	// pipeline buys. The CI gate demands ≥ 1.5.
+	KeySwitchRatio float64 `json:"key_switch_ratio"`
+	// RotationKeyRatio is dense/staged on the rotation-key set size (the
+	// per-tenant key-upload cost of the serving runtime's boot preset).
+	RotationKeyRatio float64 `json:"rotation_key_ratio"`
+	// Speedup is dense/staged end-to-end bootstrap wall time.
+	Speedup float64 `json:"speedup"`
+	// DeltaErr is the slot-wise deviation between the two pipelines' outputs
+	// (both must also individually stay inside the precision budget).
+	DeltaErr float64 `json:"delta_err"`
+
+	// Calibration is the software-vs-simulator cross-check of the staged op
+	// mix (hoisted rotations counted separately from full HRots).
+	Calibration sim.CalibrationReport `json:"calibration"`
+
+	Pass bool `json:"pass"`
+}
+
+// bootstrapPath describes one transform pipeline's measured run.
+type bootstrapPath struct {
+	// CtSDiags/StCDiags are the per-stage diagonal counts (one entry for the
+	// dense matrices).
+	CtSDiags []int `json:"cts_diags"`
+	StCDiags []int `json:"stc_diags"`
+	// RotationKeys is the size of the rotation-key set the path requires.
+	RotationKeys int     `json:"rotation_keys"`
+	TimeMs       float64 `json:"time_ms"`
+	MaxErr       float64 `json:"max_err"`
+	Level        int     `json:"level"`
+
+	// Measured op mix over one bootstrap (evaluator counters).
+	Mult           int64 `json:"mult"`
+	FullRot        int64 `json:"full_rot"`
+	HoistedRot     int64 `json:"hoisted_rot"`
+	Decompose      int64 `json:"decompose"`
+	ModDown        int64 `json:"mod_down"`
+	KeySwitchTotal int64 `json:"key_switch_total"`
+}
+
+// bootstrapBench runs the staged-vs-dense comparison and exits non-zero if
+// the precision, key-switch-economy, or speedup contracts are violated, so
+// CI can gate on it.
+func bootstrapBench(workers int) {
+	rep, err := runBootstrapBench(workers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bootstrap bench: %v\n", err)
+		os.Exit(1)
+	}
+	out, _ := json.MarshalIndent(rep, "", "  ")
+	fmt.Println(string(out))
+	if !rep.Pass {
+		fmt.Fprintln(os.Stderr, "bootstrap bench: contract violated (precision, key-switch ratio, or speedup)")
+		os.Exit(1)
+	}
+}
+
+func runBootstrapBench(workers int) (*bootstrapReport, error) {
+	logQ := []int{55}
+	for i := 0; i < 14; i++ {
+		logQ = append(logQ, 45)
+	}
+	p, err := ckks.NewParameters(ckks.ParametersLiteral{
+		LogN:     10,
+		LogQ:     logQ,
+		LogP:     55,
+		Dnum:     2,
+		LogScale: 45,
+		H:        8,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctx, err := ckks.NewContext(p)
+	if err != nil {
+		return nil, err
+	}
+	defer ctx.Close()
+	ctx.SetWorkers(workers)
+
+	bp := ckks.DefaultBootstrapParams()
+	rep := &bootstrapReport{
+		Experiment: "bootstrap",
+		Workers:    workers,
+		Params: map[string]any{
+			"logN":       p.LogN,
+			"L":          p.MaxLevel(),
+			"dnum":       p.Dnum,
+			"slots":      p.Slots(),
+			"cts_stages": bp.CtSStages,
+			"stc_stages": bp.StCStages,
+		},
+		Pass: true,
+	}
+
+	kg := ckks.NewKeyGenerator(ctx, 9101)
+	sk := kg.GenSecretKey()
+	rlk := kg.GenRelinearizationKey(sk)
+	encoder := ckks.NewEncoder(ctx)
+	enc := ckks.NewEncryptorSK(ctx, sk, 9102)
+	dec := ckks.NewDecryptor(ctx, sk)
+
+	// One key set covers both pipelines (union), so toggling is fair.
+	probe := ckks.NewEvaluator(ctx, encoder, rlk, nil)
+	bt0, err := ckks.NewBootstrapper(ctx, encoder, probe, bp)
+	if err != nil {
+		return nil, err
+	}
+	rtks := kg.GenRotationKeys(sk, bt0.AllRotations(), true)
+	eval := ckks.NewEvaluator(ctx, encoder, rlk, rtks)
+	bt, err := ckks.NewBootstrapper(ctx, encoder, eval, bp)
+	if err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(9103))
+	n := p.Slots()
+	values := make([]complex128, n)
+	for i := range values {
+		values[i] = complex(2*rng.Float64()-1, 2*rng.Float64()-1) * 0.7
+	}
+	pt, err := encoder.Encode(values, 0, p.Scale)
+	if err != nil {
+		return nil, err
+	}
+	ct, err := enc.EncryptNew(pt)
+	if err != nil {
+		return nil, err
+	}
+
+	ctsChain, stcChain := bt.Chains()
+	var stagedVals, denseVals []complex128
+	runPath := func(dense bool) (bootstrapPath, []complex128, error) {
+		bt.SetDenseTransforms(dense)
+		path := bootstrapPath{}
+		if dense {
+			path.CtSDiags = []int{n}
+			path.StCDiags = []int{n}
+			path.RotationKeys = len(bt.DenseRotations())
+		} else {
+			path.CtSDiags = ctsChain.DiagCounts()
+			path.StCDiags = stcChain.DiagCounts()
+			path.RotationKeys = len(bt.Rotations())
+		}
+
+		eval.ResetCounters()
+		out, err := bt.Bootstrap(ct)
+		if err != nil {
+			return path, nil, err
+		}
+		ops := eval.Counters()
+		path.Mult = ops.Mult
+		path.FullRot = ops.FullRot
+		path.HoistedRot = ops.HoistedRot
+		path.Decompose = ops.Decompose
+		path.ModDown = ops.ModDown
+		path.KeySwitchTotal = ops.KeySwitchTotal()
+		path.Level = out.Level
+		vals := encoder.Decode(dec.DecryptNew(out))
+		path.MaxErr = maxAbsErrC(vals, values)
+		ctx.PutCiphertext(out)
+
+		// Best of 2 timed runs (the warm-up above already primed the pools
+		// and permutation caches).
+		best := 0.0
+		for i := 0; i < 2; i++ {
+			start := time.Now()
+			out, err := bt.Bootstrap(ct)
+			if err != nil {
+				return path, nil, err
+			}
+			ctx.PutCiphertext(out)
+			if el := time.Since(start).Seconds() * 1e3; best == 0 || el < best {
+				best = el
+			}
+		}
+		path.TimeMs = best
+		return path, vals, nil
+	}
+
+	if rep.Staged, stagedVals, err = runPath(false); err != nil {
+		return nil, err
+	}
+	if rep.Dense, denseVals, err = runPath(true); err != nil {
+		return nil, err
+	}
+	bt.SetDenseTransforms(false)
+
+	rep.KeySwitchRatio = float64(rep.Dense.KeySwitchTotal) / float64(rep.Staged.KeySwitchTotal)
+	rep.RotationKeyRatio = float64(rep.Dense.RotationKeys) / float64(rep.Staged.RotationKeys)
+	rep.Speedup = rep.Dense.TimeMs / rep.Staged.TimeMs
+	rep.DeltaErr = maxAbsErrC(stagedVals, denseVals)
+
+	// Calibration cross-check: replay a trace shaped like the staged
+	// software pipeline and compare its op mix against the measured one,
+	// hoisted rotations counted separately (see internal/sim's package doc).
+	inst := params.Instance{Name: "boot-sw", LogN: p.LogN, L: p.MaxLevel(), Dnum: p.Dnum,
+		LogQ0: 55, LogQi: 45, LogP: 55}
+	chebDepth := 1 // ceil(log2(SineDegree+1)) + 1, the EvalMod level consumption
+	for 1<<(chebDepth-1) < bp.SineDegree+1 {
+		chebDepth++
+	}
+	shape := workload.BootstrapShape{
+		CtSStages:    rep.Staged.CtSDiags,
+		StCStages:    rep.Staged.StCDiags,
+		SineDegree:   bp.SineDegree,
+		EvalModDepth: chebDepth,
+	}
+	mix := sim.MeasuredOpMix{
+		Mult:       rep.Staged.Mult,
+		FullRot:    rep.Staged.FullRot,
+		HoistedRot: rep.Staged.HoistedRot,
+		Decompose:  rep.Staged.Decompose,
+	}
+	rep.Calibration = sim.CrossCheckBootstrap(workload.BootstrapTrace(inst, shape), mix, 0)
+
+	// The gates: equal precision budget, ≥1.5× fewer key-switch ops, and a
+	// measured end-to-end speedup.
+	const errBudget = 2e-2
+	if rep.Staged.MaxErr > errBudget || rep.Dense.MaxErr > errBudget || rep.DeltaErr > errBudget {
+		rep.Pass = false
+	}
+	if rep.Staged.MaxErr > 2*rep.Dense.MaxErr+1e-9 {
+		rep.Pass = false
+	}
+	if rep.KeySwitchRatio < 1.5 {
+		rep.Pass = false
+	}
+	if rep.Speedup <= 1.0 {
+		rep.Pass = false
+	}
+	if rep.Staged.Level < 2 {
+		rep.Pass = false
+	}
+	return rep, nil
+}

@@ -2,7 +2,7 @@
 // evaluation section and prints them as text tables (the same rows the root
 // benchmark harness reports). Usage:
 //
-//	btsbench [-experiment all|table1|fig1|fig2|fig3b|table3|table4|fig6|fig7|fig8|fig9|fig10|table5|table6|slowdown|speedup|hoisting|sharding|serve] [-workers N]
+//	btsbench [-experiment all|table1|fig1|fig2|fig3b|table3|table4|fig6|fig7|fig8|fig9|fig10|table5|table6|slowdown|speedup|hoisting|sharding|bootstrap|serve] [-workers N]
 //	         [-clients K] [-duration 5s]
 //
 // Several experiments are special: instead of replaying the paper's model
@@ -28,6 +28,17 @@
 // NTT/element-wise speedup misses the 2x bar on the levels where sharding
 // has 2x of parallel headroom (limbs ≤ cores/2 — all of level ≤ 3 on an
 // 8-core host).
+//
+// The bootstrap experiment compares the factored (two-stage radix)
+// CoeffToSlot/SlotToCoeff bootstrap pipeline against the dense single-stage
+// reference on the LogN=10 boot instance — rotation-key footprint, measured
+// key-switch op counts (hoisted rotations tallied separately from full
+// key-switches), end-to-end wall time and output precision — plus the
+// internal/sim calibration cross-check of the measured op mix. It prints a
+// JSON report (archived by CI as BENCH_bootstrap.json) and exits non-zero if
+// either pipeline leaves the precision budget, the staged pipeline spends
+// fewer than 1.5x fewer key-switch ops, or it is not measurably faster end
+// to end.
 //
 // The serve experiment is the serving-runtime load generator: it stands up
 // an in-process btsserve daemon on loopback, drives it with -clients
@@ -86,6 +97,10 @@ func main() {
 	}
 	if *which == "sharding" {
 		sharding(*workers)
+		ran = true
+	}
+	if *which == "bootstrap" {
+		bootstrapBench(*workers)
 		ran = true
 	}
 	if *which == "serve" {

@@ -17,7 +17,12 @@
 //	small  N=2^12, 8 levels  — the speedup-experiment instance (default)
 //	boot   N=2^10, 15 levels — bootstrappable chain; enables the
 //	                           "bootstrap" op for sessions whose rotation
-//	                           keys cover the advertised set
+//	                           keys cover the advertised set. The daemon
+//	                           runs the factored two-stage radix
+//	                           CoeffToSlot/SlotToCoeff pipeline, so the
+//	                           advertised rotation set (and every tenant's
+//	                           key upload) is a fraction of the dense
+//	                           transform's requirement
 //
 // The daemon exits gracefully on SIGINT/SIGTERM, draining in-flight jobs.
 package main
@@ -98,8 +103,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("btsserve: preset %s (N=2^%d, L=%d, dnum=%d), batch=%d, window=%s, bootstrap=%v",
-		*preset, params.LogN, params.MaxLevel(), params.Dnum, *batch, *batchWindow, boot)
+	if boot {
+		log.Printf("btsserve: preset %s (N=2^%d, L=%d, dnum=%d), batch=%d, window=%s, bootstrap on (%d rotation keys per session)",
+			*preset, params.LogN, params.MaxLevel(), params.Dnum, *batch, *batchWindow, len(srv.BootstrapRotations()))
+	} else {
+		log.Printf("btsserve: preset %s (N=2^%d, L=%d, dnum=%d), batch=%d, window=%s, bootstrap=false",
+			*preset, params.LogN, params.MaxLevel(), params.Dnum, *batch, *batchWindow)
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	done := make(chan struct{})

@@ -17,62 +17,128 @@ type BootstrapParams struct {
 	// SineDegree is the Chebyshev degree approximating sin(2πy)/(2π) over
 	// [-K, K]. Depth consumed by EvalMod is ceil(log2(deg+1))+1.
 	SineDegree int
+	// CtSStages and StCStages factor CoeffToSlot and SlotToCoeff into that
+	// many radix stages (the paper's Table 2 evaluates the linear transforms
+	// in exactly this grouped-FFT form; see dft.go). Each stage consumes one
+	// level but touches only O(2^(logSlots/stages)) diagonals, so raising the
+	// stage count trades depth for a multiplicative drop in rotations and
+	// key-switch work. Both zero selects the dense single-stage matrices
+	// only; otherwise both must be in [1, log2(slots)].
+	CtSStages int
+	StCStages int
 }
 
 // DefaultBootstrapParams works for very sparse secrets (H ≤ 8, the toy
 // regime of this reproduction) with ~2^-15 output precision: ||I||∞ is
 // bounded by (1+H)/2 = 4.5 < K, and degree 63 > 2πK guarantees exponential
-// Chebyshev convergence of the scaled sine.
+// Chebyshev convergence of the scaled sine. CoeffToSlot and SlotToCoeff run
+// as two-stage radix pipelines (Table 2's factored form).
 func DefaultBootstrapParams() BootstrapParams {
-	return BootstrapParams{K: 6, SineDegree: 63}
+	return BootstrapParams{K: 6, SineDegree: 63, CtSStages: 2, StCStages: 2}
 }
 
-// MinLevels returns the number of levels the pipeline consumes (L_boot):
-// 2 for CoeffToSlot, 1 for normalization, the EvalMod depth, 1 for
-// SlotToCoeff and 1 for the final rescale.
+// Staged reports whether the factored (radix-stage) transform pipeline is
+// configured.
+func (bp BootstrapParams) Staged() bool { return bp.CtSStages > 0 || bp.StCStages > 0 }
+
+// MinLevels returns the number of levels the pipeline requires (L_boot).
+//
+// Depth accounting, per phase:
+//
+//   - CoeffToSlot: the dense reference encodes U^{-1}·(Δ/q0) at a two-prime
+//     scale (the Δ/q0 factor would otherwise starve the plaintext of
+//     precision) and so consumes 2 levels; the staged pipeline consumes one
+//     level per radix stage (CtSStages), each stage at single-prime scale
+//     with the Δ/q0 factor spread evenly across stages.
+//   - Normalization into the Chebyshev domain: 1 level.
+//   - EvalMod: ceil(log2(SineDegree+1))+1 levels per conjugate half (both
+//     halves run at the same levels).
+//   - SlotToCoeff: 1 level dense, StCStages levels staged.
+//   - 1 level of margin so the refreshed ciphertext supports at least one
+//     multiplication.
+//
+// The trade-off dial (Table 2): stage count S splits logSlots butterfly
+// layers into S groups of ~2^(logSlots/S) diagonals each, so rotations per
+// transform fall roughly geometrically in S while depth grows by S-1 over
+// the dense matrix's fixed cost. S=2 at 2^9 slots turns a 512-diagonal
+// dense transform into 32+31-diagonal stages — ~4× fewer rotations for one
+// extra level per transform. When the staged pipeline is enabled the dense
+// reference matrices are built alongside it (the equivalence oracle), so the
+// budget is the maximum of the two accountings.
 func (bp BootstrapParams) MinLevels() int {
-	return 2 + 1 + (bitsFor(bp.SineDegree+1) + 1) + 1 + 1
+	chebDepth := bitsFor(bp.SineDegree+1) + 1
+	dense := 2 + 1 + chebDepth + 1 + 1
+	if !bp.Staged() {
+		return dense
+	}
+	staged := bp.CtSStages + 1 + chebDepth + bp.StCStages + 1
+	if staged > dense {
+		return staged
+	}
+	return dense
 }
 
 // Bootstrapper refreshes exhausted ciphertexts: it takes a level-0 ct and
 // returns an encryption of the same message with levels restored — the op
 // that makes CKKS fully homomorphic and the focus of the BTS accelerator.
-// Its linear-transform phases (CoeffToSlot/SlotToCoeff) run on the hoisted
-// key-switching pipeline (see hoisting.go): one decomposition per input
-// ciphertext, permutation+MAC per baby rotation, and one deferred ModDown
-// per giant step, which is where the bulk of the bootstrap speedup over the
-// naive per-rotation path comes from.
+//
+// Its linear-transform phases evaluate *factored*: CoeffToSlot is a chain of
+// CtSStages sparse radix matrices (a grouped inverse FFT, slots left in
+// bit-reversed order) and SlotToCoeff the mirrored forward chain (consuming
+// bit-reversed slots), with the bit-reversals cancelling through the
+// slot-wise EvalMod between them — see dft.go. Every stage runs on the
+// hoisted key-switching pipeline (hoisting.go): one decomposition per stage
+// input, a gather-MAC per baby rotation, one deferred ModDown per giant
+// step. The dense single-stage matrices are kept as the reference oracle —
+// SetDenseTransforms(true) routes Bootstrap through them for
+// equivalence-within-precision and cost comparisons (btsbench -experiment
+// bootstrap).
 type Bootstrapper struct {
 	ctx     *Context
 	encoder *Encoder
 	eval    *Evaluator
 	bp      BootstrapParams
 
+	// Factored pipeline (nil when bp.Staged() is false).
+	ctsChain *TransformChain
+	stcChain *TransformChain
+
+	// Dense single-stage reference.
 	cts *LinearTransform // CoeffToSlot: U^-1 · (Δ/q0), two-prime scale
 	stc *LinearTransform // SlotToCoeff: U · (q0/Δ), one-prime scale
 
-	sineCoeffs []float64
-	stcLevel   int
+	// dense routes Bootstrap through the reference matrices.
+	dense bool
+
+	sineCoeffs     []float64
+	stcLevelDense  int
+	stcLevelStaged int
 }
 
-// NewBootstrapper precomputes the CoeffToSlot/SlotToCoeff matrices and the
-// sine approximation. The evaluator must hold a relinearization key and
-// rotation keys covering Rotations() (plus conjugation).
+// NewBootstrapper precomputes the staged CoeffToSlot/SlotToCoeff chains, the
+// dense reference matrices, and the sine approximation. The evaluator must
+// hold a relinearization key and rotation keys covering Rotations() (plus
+// conjugation).
 func NewBootstrapper(ctx *Context, encoder *Encoder, eval *Evaluator, bp BootstrapParams) (*Bootstrapper, error) {
 	p := ctx.Params
 	L := p.MaxLevel()
 	if L < bp.MinLevels() {
 		return nil, fmt.Errorf("ckks: L=%d below bootstrapping budget %d", L, bp.MinLevels())
 	}
+	if bp.Staged() && (bp.CtSStages < 1 || bp.StCStages < 1) {
+		return nil, fmt.Errorf("ckks: staged bootstrap requires both stage counts (got CtS=%d, StC=%d)",
+			bp.CtSStages, bp.StCStages)
+	}
 	n := p.Slots()
 	q0 := float64(p.Q[0])
 	delta := p.Scale
+	chebDepth := bitsFor(bp.SineDegree+1) + 1
 
 	bt := &Bootstrapper{ctx: ctx, encoder: encoder, eval: eval, bp: bp}
 
-	// Matrix columns are obtained by probing the special FFT with basis
-	// vectors; this *is* the homomorphic linear transform of the paper's
-	// bootstrapping, in single-stage (full-radix) form.
+	// Dense reference: matrix columns are obtained by probing the special
+	// FFT with basis vectors — the homomorphic linear transform of the
+	// paper's bootstrapping in single-stage (full-radix) form.
 	ctsCols := probeColumns(n, func(v []complex128) { encoder.fftSpecialInv(v) })
 	stcCols := probeColumns(n, func(v []complex128) { encoder.fftSpecial(v) })
 
@@ -88,16 +154,30 @@ func NewBootstrapper(ctx *Context, encoder *Encoder, eval *Evaluator, bp Bootstr
 	}
 	bt.cts = cts
 
-	chebDepth := bitsFor(bp.SineDegree+1) + 1
-	bt.stcLevel = L - 3 - chebDepth
-	if bt.stcLevel < 1 {
-		return nil, fmt.Errorf("ckks: SlotToCoeff level %d too low", bt.stcLevel)
+	bt.stcLevelDense = L - 3 - chebDepth
+	if bt.stcLevelDense < 1 {
+		return nil, fmt.Errorf("ckks: dense SlotToCoeff level %d too low", bt.stcLevelDense)
 	}
-	stc, err := NewLinearTransform(encoder, stcDiags, bt.stcLevel, float64(p.Q[bt.stcLevel]))
+	stc, err := NewLinearTransform(encoder, stcDiags, bt.stcLevelDense, float64(p.Q[bt.stcLevelDense]))
 	if err != nil {
 		return nil, err
 	}
 	bt.stc = stc
+
+	// Factored chains: CoeffToSlot = CtSStages-stage inverse DFT with the
+	// Δ/q0 normalization spread across stages; SlotToCoeff = StCStages-stage
+	// forward DFT carrying q0/Δ, starting where EvalMod leaves off.
+	if bp.Staged() {
+		bt.ctsChain, err = encoder.EncodeDFTStages(DFTInverse, bp.CtSStages, L, delta/q0)
+		if err != nil {
+			return nil, fmt.Errorf("ckks: staged CoeffToSlot: %w", err)
+		}
+		bt.stcLevelStaged = L - bp.CtSStages - 1 - chebDepth
+		bt.stcChain, err = encoder.EncodeDFTStages(DFTForward, bp.StCStages, bt.stcLevelStaged, q0/delta)
+		if err != nil {
+			return nil, fmt.Errorf("ckks: staged SlotToCoeff: %w", err)
+		}
+	}
 
 	k := bp.K
 	bt.sineCoeffs = ChebyshevCoeffs(func(t float64) float64 {
@@ -109,6 +189,23 @@ func NewBootstrapper(ctx *Context, encoder *Encoder, eval *Evaluator, bp Bootstr
 // Evaluator returns the evaluator the bootstrapper runs on (the one passed
 // to NewBootstrapper) — benchmarks use it to toggle the transform path.
 func (bt *Bootstrapper) Evaluator() *Evaluator { return bt.eval }
+
+// SetDenseTransforms routes Bootstrap through the dense single-stage
+// reference matrices (true) or the factored stage chains (false, the
+// default when BootstrapParams configures stages). The dense path needs
+// rotation keys covering DenseRotations(); tests and benchmarks that toggle
+// should generate AllRotations(). Must not be toggled concurrently with
+// Bootstrap.
+func (bt *Bootstrapper) SetDenseTransforms(dense bool) { bt.dense = dense }
+
+// useDense reports whether Bootstrap currently routes through the dense
+// reference matrices.
+func (bt *Bootstrapper) useDense() bool { return bt.dense || !bt.bp.Staged() }
+
+// Chains returns the factored CoeffToSlot and SlotToCoeff chains (nil, nil
+// when the staged pipeline is disabled) — benchmarks read their stage
+// shapes.
+func (bt *Bootstrapper) Chains() (cts, stc *TransformChain) { return bt.ctsChain, bt.stcChain }
 
 // probeColumns applies transform to each basis vector, returning columns.
 func probeColumns(n int, transform func([]complex128)) [][]complex128 {
@@ -122,23 +219,56 @@ func probeColumns(n int, transform func([]complex128)) [][]complex128 {
 	return cols
 }
 
-// Rotations returns all rotation amounts the pipeline needs (conjugation key
-// is requested separately via GenRotationKeys(..., true)).
+// Rotations returns the rotation amounts the *default* transform path needs
+// (conjugation is requested separately via GenRotationKeys(..., true)): the
+// union of the stage chains' rotations when the factored pipeline is
+// configured, the dense matrices' otherwise. Serving deployments advertise
+// exactly this set — with the factored pipeline it is a fraction of the
+// dense requirement, which shrinks every tenant's key upload.
 func (bt *Bootstrapper) Rotations() []int {
+	if bt.bp.Staged() {
+		return dedupRotations(bt.ctsChain.Rotations(), bt.stcChain.Rotations())
+	}
+	return bt.DenseRotations()
+}
+
+// DenseRotations returns the rotation amounts of the dense reference path.
+func (bt *Bootstrapper) DenseRotations() []int {
+	return dedupRotations(bt.cts.Rotations(), bt.stc.Rotations())
+}
+
+// AllRotations returns the union of the staged and dense paths' rotation
+// amounts — the key set needed to toggle SetDenseTransforms at runtime.
+func (bt *Bootstrapper) AllRotations() []int {
+	if !bt.bp.Staged() {
+		return bt.DenseRotations()
+	}
+	return dedupRotations(bt.Rotations(), bt.DenseRotations())
+}
+
+func dedupRotations(lists ...[]int) []int {
 	seen := map[int]bool{}
 	var out []int
-	for _, r := range append(bt.cts.Rotations(), bt.stc.Rotations()...) {
-		if !seen[r] {
-			seen[r] = true
-			out = append(out, r)
+	for _, l := range lists {
+		for _, r := range l {
+			if !seen[r] {
+				seen[r] = true
+				out = append(out, r)
+			}
 		}
 	}
 	return out
 }
 
 // Bootstrap refreshes ct (which must be at level 0) and returns an
-// equivalent ciphertext at level MaxLevel - MinLevels. The message must
-// satisfy |m_coeff| ≪ q0 (true whenever Scale·|z| ≪ q0).
+// equivalent ciphertext with levels restored: L - (CtSStages + 1 + EvalMod +
+// StCStages) on the staged path, L - 11 on the dense reference. The message
+// must satisfy |m_coeff| ≪ q0 (true whenever Scale·|z| ≪ q0).
+//
+// On the staged path the CoeffToSlot chain leaves the slots bit-reversed;
+// steps 3-6 (conjugate split, normalization, EvalMod, recombination) are all
+// slot-wise and therefore commute with that permutation, and the SlotToCoeff
+// chain consumes it — no repacking step exists anywhere.
 func (bt *Bootstrapper) Bootstrap(ct *Ciphertext) (*Ciphertext, error) {
 	if ct.Level != 0 {
 		return nil, fmt.Errorf("ckks: Bootstrap expects a level-0 ciphertext, got level %d", ct.Level)
@@ -149,9 +279,21 @@ func (bt *Bootstrapper) Bootstrap(ct *Ciphertext) (*Ciphertext, error) {
 	// the plaintext becomes m + q0·I with small I (Section 2.4).
 	raised := bt.modRaise(ct)
 
-	// 2. CoeffToSlot: slots now hold (c_j + i·c_{j+n})/q0·(1/Δ-normalized).
-	ctv := ev.LinearTransform(raised, bt.cts)
-	ctv = ev.Rescale(ev.Rescale(ctv))
+	// 2. CoeffToSlot: slots now hold (c_j + i·c_{j+n})/q0·(1/Δ-normalized),
+	// in bit-reversed slot order on the staged path.
+	var ctv *Ciphertext
+	var stcLevel int
+	if bt.useDense() {
+		ctv = ev.Rescale(ev.Rescale(ev.LinearTransform(raised, bt.cts)))
+		stcLevel = bt.stcLevelDense
+	} else {
+		var err error
+		ctv, err = ev.TransformChain(raised, bt.ctsChain)
+		if err != nil {
+			return nil, err
+		}
+		stcLevel = bt.stcLevelStaged
+	}
 
 	// 3. Conjugate split into two real-valued ciphertexts holding 2·Re(v)
 	// and 2·Im(v); the factor 2 is folded into the normalization constant
@@ -176,16 +318,18 @@ func (bt *Bootstrapper) Bootstrap(ct *Ciphertext) (*Ciphertext, error) {
 
 	// 6. Recombine the real and imaginary halves.
 	comb := ev.Add(sR, ev.MulByI(sI))
-	if comb.Level < bt.stcLevel {
-		return nil, fmt.Errorf("ckks: level budget error: EvalMod output %d below SlotToCoeff level %d", comb.Level, bt.stcLevel)
+	if comb.Level < stcLevel {
+		return nil, fmt.Errorf("ckks: level budget error: EvalMod output %d below SlotToCoeff level %d", comb.Level, stcLevel)
 	}
-	if comb.Level > bt.stcLevel {
-		comb.DropLevel(bt.stcLevel)
+	if comb.Level > stcLevel {
+		comb.DropLevel(stcLevel)
 	}
 
 	// 7. SlotToCoeff back to the coefficient embedding.
-	out := ev.Rescale(ev.LinearTransform(comb, bt.stc))
-	return out, nil
+	if bt.useDense() {
+		return ev.Rescale(ev.LinearTransform(comb, bt.stc)), nil
+	}
+	return ev.TransformChain(comb, bt.stcChain)
 }
 
 func (bt *Bootstrapper) normalize(ct *Ciphertext) *Ciphertext {
@@ -201,6 +345,7 @@ func (bt *Bootstrapper) normalize(ct *Ciphertext) *Ciphertext {
 // fans out limb × coefficient-block, and the forward NTT of all L+1 rows
 // goes through the ring's 2-D NTT dispatch.
 func (bt *Bootstrapper) modRaise(ct *Ciphertext) *Ciphertext {
+	bt.eval.counters.ModRaise.Add(1)
 	rq := bt.ctx.RingQ
 	L := rq.MaxLevel()
 	out := bt.ctx.NewCiphertext(L, ct.Scale)

@@ -205,7 +205,9 @@ func bootSetup(t testing.TB) (*testSetup, *Bootstrapper) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rtks := kg.GenRotationKeys(sk, bt0.Rotations(), true)
+	// AllRotations covers both the staged default path and the dense
+	// reference, so tests can toggle SetDenseTransforms on one key set.
+	rtks := kg.GenRotationKeys(sk, bt0.AllRotations(), true)
 	eval := NewEvaluator(ctx, encoder, rlk, rtks)
 	bt, err := NewBootstrapper(ctx, encoder, eval, DefaultBootstrapParams())
 	if err != nil {
@@ -273,8 +275,12 @@ func TestBootstrapRejectsNonZeroLevel(t *testing.T) {
 
 func TestBootstrapParamsBudget(t *testing.T) {
 	bp := DefaultBootstrapParams()
-	if got := bp.MinLevels(); got != 12 {
-		t.Fatalf("MinLevels=%d want 12 (2 CtS + 1 norm + 7 EvalMod + 1 StC + 1 rescale)", got)
+	if got := bp.MinLevels(); got != 13 {
+		t.Fatalf("MinLevels=%d want 13 (2-stage CtS + 1 norm + 7 EvalMod + 2-stage StC + 1 margin)", got)
+	}
+	dense := BootstrapParams{K: bp.K, SineDegree: bp.SineDegree}
+	if got := dense.MinLevels(); got != 12 {
+		t.Fatalf("dense MinLevels=%d want 12 (2 CtS + 1 norm + 7 EvalMod + 1 StC + 1 rescale)", got)
 	}
 	// A chain shorter than the budget must be rejected.
 	params, err := NewParameters(ParametersLiteral{

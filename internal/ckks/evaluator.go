@@ -33,6 +33,10 @@ type Evaluator struct {
 	// eagerTransforms routes LinearTransform through the reference
 	// one-key-switch-per-rotation path instead of the hoisted pipeline.
 	eagerTransforms bool
+
+	// counters tallies the op mix for the internal/sim calibration
+	// cross-check (see counters.go).
+	counters opCounters
 }
 
 // NewEvaluator builds an evaluator. rlk may be nil if no multiplications are
@@ -125,6 +129,7 @@ func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
 // MulPlain returns ct ⊙ pt (PMult) without rescaling; the output scale is the
 // product of the input scales.
 func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
+	ev.counters.PMult.Add(1)
 	lvl := ct.Level
 	if pt.Level < lvl {
 		lvl = pt.Level
@@ -228,6 +233,7 @@ func (ev *Evaluator) MulRelin(ct0, ct1 *Ciphertext) *Ciphertext {
 	if ev.rlk == nil {
 		panic("ckks: MulRelin without relinearization key")
 	}
+	ev.counters.Mult.Add(1)
 	rq := ev.ctx.RingQ
 	lvl := alignLevels(ct0, ct1)
 
@@ -262,6 +268,7 @@ func (ev *Evaluator) Rescale(ct *Ciphertext) *Ciphertext {
 	if ct.Level == 0 {
 		panic("ckks: cannot rescale a level-0 ciphertext")
 	}
+	ev.counters.Rescale.Add(1)
 	rq := ev.ctx.RingQ
 	out := ev.ctx.copyCiphertextPooled(ct)
 	q := float64(rq.Moduli[ct.Level].Q)
@@ -289,6 +296,7 @@ func (ev *Evaluator) automorphism(ct *Ciphertext, g uint64) *Ciphertext {
 	if g == 1 {
 		return ev.ctx.copyCiphertextPooled(ct)
 	}
+	ev.counters.FullRot.Add(1)
 	swk := ev.rotationKey(g)
 	rq := ev.ctx.RingQ
 	lvl := ct.Level
@@ -402,6 +410,7 @@ func (ev *Evaluator) modUpSlice(j, lvl int, dCoeff, tmpQ, tmpP *ring.Poly, dst [
 // final fused subtract-scale runs limb × coefficient-block sharded with the
 // cached Shoup companions of P^-1, so it stays parallel at low levels.
 func (ev *Evaluator) modDown(accQ, accP *ring.Poly, lvl int, out *ring.Poly) {
+	ev.counters.ModDown.Add(1)
 	ctx := ev.ctx
 	rq, rp := ctx.RingQ, ctx.RingP
 	lp := rp.MaxLevel()

@@ -18,14 +18,15 @@ import (
 // (ring.BasisExtender) is negation-equivariant, so permuting the decomposed
 // slices in the NTT domain (a pure index permutation) is bit-identical to
 // decomposing the permuted ciphertext. A hoisted rotation therefore costs
-// one slice permutation plus the multiply-accumulate against the rotation
-// key and one ModDown — the NTT/iNTT/BConv work, which dominates, is paid
-// once per ciphertext instead of once per rotation.
+// one gather-MAC against the rotation key — the permutation is fused into
+// the multiply-accumulate's read index, never materialized — and one
+// ModDown; the NTT/iNTT/BConv work, which dominates, is paid once per
+// ciphertext instead of once per rotation.
 //
 // Cost model (β = decomposition slices at the current level):
 //
 //	naive n rotations:   n·(iNTT + β·(BConv + 2 NTT) + β·MAC + 2 ModDown)
-//	hoisted n rotations: 1·(iNTT + β·(BConv + 2 NTT)) + n·(β·(perm + MAC) + 2 ModDown)
+//	hoisted n rotations: 1·(iNTT + β·(BConv + 2 NTT)) + n·(β·gatherMAC + 2 ModDown)
 //
 // On top of single hoisted rotations, keySwitchHoistedLazy exposes the
 // *double-hoisted* form used by LinearTransform: the MAC accumulators stay
@@ -72,6 +73,7 @@ func (ev *Evaluator) DecomposeNTT(ct *Ciphertext) *HoistedDecomposition {
 
 // decomposeNTT is DecomposeNTT on a bare polynomial (NTT domain, level lvl).
 func (ev *Evaluator) decomposeNTT(d *ring.Poly, lvl int) *HoistedDecomposition {
+	ev.counters.Decompose.Add(1)
 	ctx := ev.ctx
 	rq, rp := ctx.RingQ, ctx.RingP
 	lp := rp.MaxLevel()
@@ -106,39 +108,91 @@ func (ev *Evaluator) decomposeNTT(d *ring.Poly, lvl int) *HoistedDecomposition {
 }
 
 // keySwitchHoistedLazy applies the automorphism X→X^g to every decomposed
-// slice (a pure NTT-domain permutation) and multiply-accumulates against the
-// switching key, leaving the result in the extended QP basis: accQ0/accP0
-// and accQ1/accP1 (all zeroed by the caller) receive the two key components'
-// accumulators *before* the final division by P. Callers either hand them to
-// modDown (single hoisted rotation) or keep summing baby-step products in
-// the extended basis and ModDown once per giant step (double hoisting).
-// g = 1 skips the permutation (plain key-switching reuses this path).
+// slice and multiply-accumulates against the switching key, leaving the
+// result in the extended QP basis: accQ0/accP0 and accQ1/accP1 are
+// *overwritten* with the two key components' accumulators *before* the final
+// division by P (callers may pass unzeroed scratch). Callers either hand
+// them to modDown (single hoisted rotation) or keep summing baby-step
+// products in the extended basis and ModDown once per giant step (double
+// hoisting).
+//
+// The slice permutation is fused into the MAC gather
+// (ring.MulGatherAndAddLazy reads each slice through the automorphism index
+// table), so no permuted copy of the extended basis is ever materialized;
+// and the per-slice products accumulate as unreduced 128-bit sums
+// (ring.Acc128) with a single Barrett reduction per coefficient at the end,
+// collapsing β modular-reduction passes into one. Both changes are exact —
+// the congruence class of a sum does not depend on when reductions happen —
+// so outputs remain bit-identical to the streaming keySwitch pipeline.
+// Slice counts beyond the rings' lazy overflow budget (unreachable with
+// supported dnum and ≤62-bit moduli, but guarded anyway) are folded in
+// chunks. g = 1 skips the permutation (plain key-switching reuses this
+// path).
 func (ev *Evaluator) keySwitchHoistedLazy(g uint64, hd *HoistedDecomposition, swk *SwitchingKey, accQ0, accP0, accQ1, accP1 *ring.Poly) {
 	ctx := ev.ctx
 	rq, rp := ctx.RingQ, ctx.RingP
 	lvl, lp := hd.level, rp.MaxLevel()
-	var permQ, permP *ring.Poly
 	if g != 1 {
-		permQ = rq.GetPolyNoZero()
-		permP = rp.GetPolyNoZero()
+		ev.counters.HoistedRot.Add(1)
 	}
-	for j := 0; j < hd.beta; j++ {
-		sq, sp := hd.q[j], hd.p[j]
-		if g != 1 {
-			rq.AutomorphismNTT(sq, g, permQ, lvl)
-			rp.AutomorphismNTT(sp, g, permP, lp)
-			sq, sp = permQ, permP
+	var tableQ, tableP []int
+	if g != 1 {
+		tableQ = rq.AutoIndexNTT(g)
+		tableP = rp.AutoIndexNTT(g)
+	}
+	budget := rq.LazyMACBudget()
+	if pb := rp.LazyMACBudget(); pb < budget {
+		budget = pb
+	}
+	mergeQ := rq.GetPolyNoZero()
+	mergeP := rp.GetPolyNoZero()
+	for start := 0; start < hd.beta; start += budget {
+		end := start + budget
+		if end > hd.beta {
+			end = hd.beta
 		}
-		// Multiply-accumulate with the evk slice (element-wise, Fig. 3a).
-		rq.MulCoeffsAndAdd(sq, swk.Value[j][0].Q, accQ0, lvl)
-		rp.MulCoeffsAndAdd(sp, swk.Value[j][0].P, accP0, lp)
-		rq.MulCoeffsAndAdd(sq, swk.Value[j][1].Q, accQ1, lvl)
-		rp.MulCoeffsAndAdd(sp, swk.Value[j][1].P, accP1, lp)
+		a0Q := rq.GetAcc(lvl)
+		a1Q := rq.GetAcc(lvl)
+		a0P := rp.GetAcc(lp)
+		a1P := rp.GetAcc(lp)
+		for j := start; j < end; j++ {
+			sq, sp := hd.q[j], hd.p[j]
+			// Multiply-accumulate with the evk slice (element-wise, Fig. 3a),
+			// gathering through the automorphism table.
+			if g != 1 {
+				rq.MulGatherAndAddLazy(sq, tableQ, swk.Value[j][0].Q, a0Q, lvl)
+				rp.MulGatherAndAddLazy(sp, tableP, swk.Value[j][0].P, a0P, lp)
+				rq.MulGatherAndAddLazy(sq, tableQ, swk.Value[j][1].Q, a1Q, lvl)
+				rp.MulGatherAndAddLazy(sp, tableP, swk.Value[j][1].P, a1P, lp)
+			} else {
+				rq.MulCoeffsAndAddLazy(sq, swk.Value[j][0].Q, a0Q, lvl)
+				rp.MulCoeffsAndAddLazy(sp, swk.Value[j][0].P, a0P, lp)
+				rq.MulCoeffsAndAddLazy(sq, swk.Value[j][1].Q, a1Q, lvl)
+				rp.MulCoeffsAndAddLazy(sp, swk.Value[j][1].P, a1P, lp)
+			}
+		}
+		if start == 0 {
+			rq.ReduceAcc(a0Q, accQ0, lvl)
+			rq.ReduceAcc(a1Q, accQ1, lvl)
+			rp.ReduceAcc(a0P, accP0, lp)
+			rp.ReduceAcc(a1P, accP1, lp)
+		} else {
+			rq.ReduceAcc(a0Q, mergeQ, lvl)
+			rq.Add(accQ0, mergeQ, accQ0, lvl)
+			rq.ReduceAcc(a1Q, mergeQ, lvl)
+			rq.Add(accQ1, mergeQ, accQ1, lvl)
+			rp.ReduceAcc(a0P, mergeP, lp)
+			rp.Add(accP0, mergeP, accP0, lp)
+			rp.ReduceAcc(a1P, mergeP, lp)
+			rp.Add(accP1, mergeP, accP1, lp)
+		}
+		rp.PutAcc(a1P)
+		rp.PutAcc(a0P)
+		rq.PutAcc(a1Q)
+		rq.PutAcc(a0Q)
 	}
-	if g != 1 {
-		rp.PutPoly(permP)
-		rq.PutPoly(permQ)
-	}
+	rp.PutPoly(mergeP)
+	rq.PutPoly(mergeQ)
 }
 
 // keySwitchHoisted is the eager form: MAC against the key under the
@@ -146,11 +200,13 @@ func (ev *Evaluator) keySwitchHoistedLazy(g uint64, hd *HoistedDecomposition, sw
 func (ev *Evaluator) keySwitchHoisted(g uint64, hd *HoistedDecomposition, swk *SwitchingKey, ks0, ks1 *ring.Poly) {
 	ctx := ev.ctx
 	rq, rp := ctx.RingQ, ctx.RingP
-	lvl, lp := hd.level, rp.MaxLevel()
-	accQ0 := rq.GetPoly(lvl)
-	accQ1 := rq.GetPoly(lvl)
-	accP0 := rp.GetPoly(lp)
-	accP1 := rp.GetPoly(lp)
+	lvl := hd.level
+	// keySwitchHoistedLazy overwrites its accumulator outputs, so the
+	// scratch skips the zeroing pass.
+	accQ0 := rq.GetPolyNoZero()
+	accQ1 := rq.GetPolyNoZero()
+	accP0 := rp.GetPolyNoZero()
+	accP1 := rp.GetPolyNoZero()
 	ev.keySwitchHoistedLazy(g, hd, swk, accQ0, accP0, accQ1, accP1)
 	ev.modDown(accQ0, accP0, lvl, ks0)
 	ev.modDown(accQ1, accP1, lvl, ks1)

@@ -48,7 +48,11 @@ func NewLinearTransformN1(enc *Encoder, diags map[int][]complex128, level int, s
 		return nil, fmt.Errorf("ckks: linear transform with no diagonals")
 	}
 	if n1 == 0 {
-		n1 = bsgsSplit(len(diags), n)
+		keys := make([]int, 0, len(diags))
+		for k := range diags {
+			keys = append(keys, k)
+		}
+		n1 = bsgsSplit(keys, n)
 	} else if n1 < 1 || n1 > n || n1&(n1-1) != 0 {
 		return nil, fmt.Errorf("ckks: baby-step count %d is not a power of two in [1,%d]", n1, n)
 	}
@@ -91,15 +95,32 @@ func NewLinearTransformN1(enc *Encoder, diags map[int][]complex128, level int, s
 const giantStepCost = 8.0
 
 // bsgsSplit picks the baby-step count n1 (a power of two) minimizing the
-// hoisted-evaluation cost n1 + giantStepCost·#diags/n1: baby steps reuse one
-// hoisted decomposition and are therefore much cheaper than the full
-// key-switch a giant-step rotation pays, which biases the split toward more
-// baby steps than the classic n1 + #diags/n1 model would pick.
-func bsgsSplit(nDiags, slots int) int {
+// hoisted-evaluation cost over the transform's *actual* diagonal indices:
+// (#distinct nonzero baby rotations) + giantStepCost·(#giant-step groups).
+// Baby steps reuse one hoisted decomposition and are therefore much cheaper
+// than the full key-switch a giant-step rotation pays, which biases the
+// split toward more baby steps than the classic n1 + #diags/n1 model.
+//
+// Counting distinct babies from the index set (instead of assuming all n1
+// residues occur) is what makes the factored DFT stages cheap: their
+// diagonals live on a stride-2^k lattice, so only #diags·n1/slots baby
+// residues inside each giant group actually appear and the optimum shifts to
+// much larger n1 than a dense transform of equal diagonal count would pick.
+// For dense contiguous index sets this degrades exactly to the weighted
+// n1 + giantStepCost·ceil(#diags/n1) model (minus the free 0-baby).
+func bsgsSplit(diagIndices []int, slots int) int {
 	best, bestCost := 1, math.Inf(1)
 	for n1 := 1; n1 <= slots; n1 <<= 1 {
-		giants := (nDiags + n1 - 1) / n1
-		cost := float64(n1) + giantStepCost*float64(giants)
+		babies := map[int]bool{}
+		giants := map[int]bool{}
+		for _, k := range diagIndices {
+			k = ((k % slots) + slots) % slots
+			if b := k % n1; b != 0 {
+				babies[b] = true
+			}
+			giants[k/n1] = true
+		}
+		cost := float64(len(babies)) + giantStepCost*float64(len(giants))
 		if cost < bestCost {
 			best, bestCost = n1, cost
 		}
@@ -109,6 +130,9 @@ func bsgsSplit(nDiags, slots int) int {
 
 // N1 reports the baby-step count the transform was encoded for.
 func (lt *LinearTransform) N1() int { return lt.n1 }
+
+// Diagonals reports the number of stored (nonzero) generalized diagonals.
+func (lt *LinearTransform) Diagonals() int { return len(lt.diags) }
 
 // Rotations returns the rotation amounts required to evaluate the transform
 // (keys the caller must generate).
@@ -210,10 +234,10 @@ func (ev *Evaluator) LinearTransform(ct *Ciphertext, lt *LinearTransform) *Ciphe
 		g := rq.GaloisElement(b)
 		be := &babyExt{
 			c0: rq.GetPolyNoZero(),
-			q0: rq.GetPoly(lvl),
-			q1: rq.GetPoly(lvl),
-			p0: rp.GetPoly(lp),
-			p1: rp.GetPoly(lp),
+			q0: rq.GetPolyNoZero(), // keySwitchHoistedLazy overwrites
+			q1: rq.GetPolyNoZero(),
+			p0: rp.GetPolyNoZero(),
+			p1: rp.GetPolyNoZero(),
 		}
 		rq.AutomorphismNTT(ct.C0, g, be.c0, lvl)
 		ev.keySwitchHoistedLazy(g, hd, ev.rotationKey(g), be.q0, be.p0, be.q1, be.p1)
@@ -259,6 +283,7 @@ func (ev *Evaluator) LinearTransform(ct *Ciphertext, lt *LinearTransform) *Ciphe
 			a1q := rq.GetAcc(lvl)
 			a0p := rp.GetAcc(lp)
 			a1p := rp.GetAcc(lp)
+			ev.counters.PMult.Add(int64(end - start)) // diagonal folds (lazy PMults)
 			for _, k := range group[start:end] {
 				pt, ptP := lt.diags[k].Value, lt.diagsP[k]
 				if b := k % lt.n1; b == 0 {

@@ -26,10 +26,23 @@
 //	+ (per giant step: 1 ModDown per component + 1 full rotation)
 //
 // instead of one full key-switch per baby step and one ModDown per diagonal
-// group; bsgsSplit weights the BSGS split accordingly. The deferred ModDown
-// also *reduces* noise: its rounding enters once per giant step, unscaled by
-// the plaintext, instead of once per rotation. `btsbench -experiment
-// hoisting` measures both paths and CI archives the report.
+// group; bsgsSplit weights the BSGS split accordingly (over the transform's
+// actual diagonal indices, which is what makes sparse stages cheap). The
+// deferred ModDown also *reduces* noise: its rounding enters once per giant
+// step, unscaled by the plaintext, instead of once per rotation. `btsbench
+// -experiment hoisting` measures both paths and CI archives the report.
+//
+// # Factored bootstrap transforms
+//
+// CoeffToSlot and SlotToCoeff are evaluated *factored* (the Table 2 form):
+// the encoder's special FFT is split into radix stages (dft.go), each a
+// sparse few-diagonal LinearTransform, chained by a TransformChain with one
+// rescale between stages. Two stages at 2^9 slots turn a 512-diagonal dense
+// matrix into 32+31-diagonal stages — ~1.8× fewer key-switch ops and a
+// ~2.2× smaller rotation-key set for one extra level per transform — with
+// the dense matrices kept as the equivalence oracle
+// (Bootstrapper.SetDenseTransforms). `btsbench -experiment bootstrap`
+// measures both pipelines and CI archives the report.
 package ckks
 
 import (

@@ -93,6 +93,25 @@ func (r *Ring) MulCoeffsAndAddLazy(a, b *Poly, acc *Acc128, level int) {
 	})
 }
 
+// MulGatherAndAddLazy sets acc += σ(a) ⊙ b element-wise on rows [0..level]
+// without modular reduction, where σ(a)[j] = a[table[j]] is the NTT-domain
+// automorphism given by its index table (AutoIndexNTT). Fusing the gather
+// into the MAC saves the full read-modify-write pass over the operand that a
+// separate AutomorphismNTT would cost — the hoisted baby-step optimization of
+// the double-hoisted linear transform, where every decomposition slice would
+// otherwise be permuted into scratch before each accumulation.
+func (r *Ring) MulGatherAndAddLazy(a *Poly, table []int, b *Poly, acc *Acc128, level int) {
+	r.exec.RunBlocks(level+1, r.N, func(i, lo, hi int) {
+		ra, rb, ro := a.Coeffs[i], b.Coeffs[i], acc.Rows[i]
+		for j := lo; j < hi; j++ {
+			pHi, pLo := bits.Mul64(ra[table[j]], rb[j])
+			var c uint64
+			ro[2*j], c = bits.Add64(ro[2*j], pLo, 0)
+			ro[2*j+1], _ = bits.Add64(ro[2*j+1], pHi, c)
+		}
+	})
+}
+
 // ReduceAcc reduces acc into out on rows [0..level]: one Barrett reduction
 // per coefficient, yielding exactly the canonical residues the equivalent
 // chain of reduced multiply-accumulates would have produced (the congruence

@@ -195,6 +195,15 @@ func (r *Ring) AutomorphismNTT(p *Poly, g uint64, out *Poly, level int) {
 	})
 }
 
+// AutoIndexNTT returns the cached NTT-domain permutation table of the
+// automorphism X -> X^g: output slot j takes its value from input slot
+// table[j], with no sign changes (see autoIndexNTT). The returned slice is
+// shared and must be treated as read-only; it depends only on the ring degree
+// and g, so rings of equal N produce identical tables. Callers feed it to
+// MulGatherAndAddLazy to fuse the permutation into a multiply-accumulate
+// instead of materializing the permuted polynomial.
+func (r *Ring) AutoIndexNTT(g uint64) []int { return r.autoIndexNTT(g) }
+
 // --- Samplers ---------------------------------------------------------------
 //
 // The samplers stay serial on purpose: they consume a deterministic PRNG

@@ -331,6 +331,41 @@ func TestAcc128MatchesEagerMAC(t *testing.T) {
 	}
 }
 
+func TestMulGatherAndAddLazyMatchesPermuteThenMAC(t *testing.T) {
+	// The fused gather-MAC must equal materializing the NTT-domain
+	// automorphism first and then lazily accumulating — at several worker
+	// counts, since the gather reads non-contiguous source indices across
+	// coefficient-block boundaries.
+	for _, workers := range []int{0, 3} {
+		r := testRing(t, 6, 4)
+		r.SetEngine(NewEngine(workers))
+		lvl := r.MaxLevel()
+		rng := rand.New(rand.NewSource(39))
+		a := r.NewPolyLevel(lvl)
+		b := r.NewPolyLevel(lvl)
+		r.SampleUniform(rng, a, lvl)
+		r.SampleUniform(rng, b, lvl)
+		for _, g := range []uint64{r.GaloisElement(3), r.GaloisElement(-1), r.GaloisConjugate()} {
+			perm := r.NewPolyLevel(lvl)
+			r.AutomorphismNTT(a, g, perm, lvl)
+			accWant := r.GetAcc(lvl)
+			r.MulCoeffsAndAddLazy(perm, b, accWant, lvl)
+			want := r.NewPolyLevel(lvl)
+			r.ReduceAcc(accWant, want, lvl)
+			r.PutAcc(accWant)
+
+			accGot := r.GetAcc(lvl)
+			r.MulGatherAndAddLazy(a, r.AutoIndexNTT(g), b, accGot, lvl)
+			got := r.NewPolyLevel(lvl)
+			r.ReduceAcc(accGot, got, lvl)
+			r.PutAcc(accGot)
+			if !r.Equal(got, want, lvl) {
+				t.Fatalf("workers=%d g=%d: fused gather-MAC disagrees with permute-then-MAC", workers, g)
+			}
+		}
+	}
+}
+
 func TestBasisExtenderNegationEquivariance(t *testing.T) {
 	// The hoisted key-switch permutes decomposed slices with the signed
 	// automorphism permutation instead of re-decomposing the permuted

@@ -101,7 +101,11 @@ type Server struct {
 
 	// bootRotations caches the rotation set bootstrapping needs (probed once
 	// with a keyless evaluator), so /v1/params can tell clients what keys to
-	// generate. Empty when bootstrapping is disabled or unavailable.
+	// generate. With the factored (radix-stage) CoeffToSlot/SlotToCoeff
+	// pipeline this is the stage chains' union — a fraction of the dense
+	// matrices' requirement, which shrinks every tenant's key upload
+	// accordingly (rotation keys dominate session-open traffic). Empty when
+	// bootstrapping is disabled or unavailable.
 	bootRotations []int
 
 	mu       sync.Mutex

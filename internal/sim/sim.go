@@ -8,13 +8,17 @@
 //
 // Calibration caveat: the software library's bootstrap op mix changed when
 // internal/ckks gained hoisted key-switching — its linear transforms now
-// perform one decomposition per input plus per-rotation permutation+MAC and
-// one deferred ModDown per giant step, instead of a full HRot key-switch per
+// perform one decomposition per input plus per-rotation gather-MAC and one
+// deferred ModDown per giant step, instead of a full HRot key-switch per
 // baby step. The workload traces here still expand HRot into the full
-// per-rotation pipeline, so a software-vs-simulator calibration cross-check
-// (ROADMAP open item) must count hoisted rotations separately: for a BSGS
-// transform, only giant-step rotations map to full HRot ops, while baby
-// steps cost a fraction (automorphism + element-wise MAC, no (i)NTT/BConv).
+// per-rotation pipeline, so the software-vs-simulator calibration
+// cross-check (CrossCheckBootstrap, calibrate.go) counts hoisted rotations
+// separately: the ckks evaluator's op counters report full rotations
+// (giants, conjugations) apart from hoisted babies, and the report
+// re-expresses the measured mix in full-key-switch equivalents before
+// comparing against the trace. `btsbench -experiment bootstrap` runs this
+// cross-check against the real LogN=10 software bootstrap and archives it in
+// BENCH_bootstrap.json.
 //
 // A second calibration caveat arrived with coefficient-block sharding
 // (ring.Engine.RunBlocks): software timings of *low-level* ops (active

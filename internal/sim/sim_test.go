@@ -256,3 +256,55 @@ func TestRPLPSlowerThanCLP(t *testing.T) {
 		t.Fatalf("rPLP NTT time %.2g not above CLP %.2g at a low level", nttRPLP, nttCLP)
 	}
 }
+
+func TestCrossCheckBootstrap(t *testing.T) {
+	inst := params.Instance{Name: "boot-sw", LogN: 10, L: 14, Dnum: 2, LogQ0: 55, LogQi: 45, LogP: 55}
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	shape := workload.BootstrapShape{
+		CtSStages:    []int{32, 31},
+		StCStages:    []int{31, 32},
+		SineDegree:   63,
+		EvalModDepth: 7,
+	}
+	tr := workload.BootstrapTrace(inst, shape)
+
+	// A measured mix that matches the trace op for op (every rotation a full
+	// pipeline, nothing hoisted) must cross-check at exactly 1.0.
+	counts := tr.Counts()
+	flat := MeasuredOpMix{
+		Mult:    int64(counts[workload.HMult]),
+		FullRot: int64(counts[workload.HRot]),
+	}
+	rep := CrossCheckBootstrap(tr, flat, 0)
+	if rep.TraceKeySwitch != counts[workload.HMult]+counts[workload.HRot] {
+		t.Fatalf("trace key-switch count %d inconsistent", rep.TraceKeySwitch)
+	}
+	if math.Abs(rep.TraceOverFullEquivalent-1) > 1e-12 || math.Abs(rep.RotCountRatio-1) > 1e-12 {
+		t.Fatalf("flat mix should cross-check at 1.0, got %.3f / %.3f",
+			rep.TraceOverFullEquivalent, rep.RotCountRatio)
+	}
+
+	// Hoisting the same rotation count (babies become gather-MACs sharing a
+	// few decompositions) must show the trace overstating key-switch work:
+	// the whole point of counting hoisted rotations separately.
+	rots := int64(counts[workload.HRot])
+	hoisted := MeasuredOpMix{
+		Mult:       int64(counts[workload.HMult]),
+		FullRot:    rots / 4,
+		HoistedRot: rots - rots/4,
+		Decompose:  4,
+	}
+	rep = CrossCheckBootstrap(tr, hoisted, 8)
+	if rep.MeasuredKeySwitch != int64(counts[workload.HMult])+rots {
+		t.Fatalf("measured key-switch total %d lost rotations", rep.MeasuredKeySwitch)
+	}
+	if rep.TraceOverFullEquivalent <= 1.2 {
+		t.Fatalf("hoisted mix should show the trace overstating key-switch work, got %.3f",
+			rep.TraceOverFullEquivalent)
+	}
+	if math.Abs(rep.RotCountRatio-1) > 1e-12 {
+		t.Fatalf("rotation count ratio %.3f should stay 1.0 when only the split changes", rep.RotCountRatio)
+	}
+}
