@@ -55,6 +55,24 @@
 // report the measured speedups and CI archives both as the repo's
 // perf-trajectory record.
 //
+// # Montgomery ring core
+//
+// The RNS residue arithmetic underneath all of this runs end-to-end in
+// Montgomery representation: every polynomial the library holds — ciphertext
+// components, plaintexts, evaluation keys, key-switching decomposition
+// slices — stores residues as x·R mod q (R = 2^64), so every butterfly,
+// element-wise product and lazy MAC reduces with one fused 3-multiply REDC
+// instead of a wider Barrett pass, and multiplication by precomputed plain
+// constants (rescale inverses, P mod q) is form-preserving and free of
+// conversions. Residues enter M-form at the encode/sampling boundary and
+// leave it only at decode time and in the wire format, which transports
+// true canonical residues (internal/wire). The pre-Montgomery Barrett
+// kernels are retained as the bit-identity reference
+// (internal/ring/reference.go); `btsbench -experiment table2` measures the
+// per-kernel speedup and runs the N=2^17 Table 2 paper instance
+// (ckks.Table2Literal) through the S=3 factored bootstrap, with CI
+// archiving the report as BENCH_table2.json.
+//
 // # Serving runtime
 //
 // The repository also contains a multi-tenant serving stack over the CKKS

@@ -2,8 +2,8 @@
 // evaluation section and prints them as text tables (the same rows the root
 // benchmark harness reports). Usage:
 //
-//	btsbench [-experiment all|table1|fig1|fig2|fig3b|table3|table4|fig6|fig7|fig8|fig9|fig10|table5|table6|slowdown|speedup|hoisting|sharding|bootstrap|serve] [-workers N]
-//	         [-clients K] [-duration 5s]
+//	btsbench [-experiment all|table1|fig1|fig2|fig3b|table3|table4|fig6|fig7|fig8|fig9|fig10|table5|table6|slowdown|speedup|hoisting|sharding|bootstrap|table2|serve] [-workers N]
+//	         [-clients K] [-duration 5s] [-full] [-cpuprofile f] [-memprofile f]
 //
 // Several experiments are special: instead of replaying the paper's model
 // they measure the host machine and are therefore excluded from "all".
@@ -40,6 +40,19 @@
 // fewer than 1.5x fewer key-switch ops, or it is not measurably faster end
 // to end.
 //
+// The table2 experiment measures the Montgomery-domain ring core against the
+// retained Barrett reference kernels and runs the S=3 factored bootstrap,
+// printing a JSON report (archived by CI as BENCH_table2.json) and exiting
+// non-zero if the geomean kernel speedup misses 1.3x, precision leaves the
+// budget, or no working level remains after refresh. By default it runs a
+// scaled-down LogN=12 smoke instance; -full selects the real N=2^17 Table 2
+// paper instance (minutes of runtime, several GiB of keys — the bench
+// workflow's job, not the PR gate's).
+//
+// The -cpuprofile/-memprofile flags write pprof profiles for any experiment
+// (the heap profile is captured after the experiment returns). Profiles are
+// only flushed on gate-passing runs: a failing gate exits immediately.
+//
 // The serve experiment is the serving-runtime load generator: it stands up
 // an in-process btsserve daemon on loopback, drives it with -clients
 // concurrent tenants for -duration (each looping a rotate→multiply→rescale→
@@ -53,6 +66,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -67,7 +81,37 @@ func main() {
 	clients := flag.Int("clients", 4, "concurrent tenants for -experiment serve")
 	duration := flag.Duration("duration", 5*time.Second, "load duration for -experiment serve")
 	serveAddr := flag.String("addr", "", "for -experiment serve: drive an already-running btsserve at this address instead of an in-process daemon")
+	full := flag.Bool("full", false, "for -experiment table2: run the real N=2^17 paper instance instead of the scaled-down smoke instance")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file when the experiment completes")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	experiments := []struct {
 		name string
@@ -101,6 +145,10 @@ func main() {
 	}
 	if *which == "bootstrap" {
 		bootstrapBench(*workers)
+		ran = true
+	}
+	if *which == "table2" {
+		table2Bench(*workers, *full)
 		ran = true
 	}
 	if *which == "serve" {

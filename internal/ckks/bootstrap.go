@@ -63,8 +63,8 @@ func (bp BootstrapParams) Staged() bool { return bp.CtSStages > 0 || bp.StCStage
 // the dense matrix's fixed cost. S=2 at 2^9 slots turns a 512-diagonal
 // dense transform into 32+31-diagonal stages — ~4× fewer rotations for one
 // extra level per transform. When the staged pipeline is enabled the dense
-// reference matrices are built alongside it (the equivalence oracle), so the
-// budget is the maximum of the two accountings.
+// reference matrices remain available on demand (the equivalence oracle), so
+// the budget is the maximum of the two accountings.
 func (bp BootstrapParams) MinLevels() int {
 	chebDepth := bitsFor(bp.SineDegree+1) + 1
 	dense := 2 + 1 + chebDepth + 1 + 1
@@ -113,6 +113,10 @@ type Bootstrapper struct {
 	sineCoeffs     []float64
 	stcLevelDense  int
 	stcLevelStaged int
+
+	// scaleBoost is the exact power-of-two working-scale boost of the staged
+	// pipeline (1 on uniform chains; see bootScaleBoost).
+	scaleBoost float64
 }
 
 // NewBootstrapper precomputes the staged CoeffToSlot/SlotToCoeff chains, the
@@ -129,51 +133,40 @@ func NewBootstrapper(ctx *Context, encoder *Encoder, eval *Evaluator, bp Bootstr
 		return nil, fmt.Errorf("ckks: staged bootstrap requires both stage counts (got CtS=%d, StC=%d)",
 			bp.CtSStages, bp.StCStages)
 	}
-	n := p.Slots()
 	q0 := float64(p.Q[0])
 	delta := p.Scale
 	chebDepth := bitsFor(bp.SineDegree+1) + 1
 
 	bt := &Bootstrapper{ctx: ctx, encoder: encoder, eval: eval, bp: bp}
 
-	// Dense reference: matrix columns are obtained by probing the special
-	// FFT with basis vectors — the homomorphic linear transform of the
-	// paper's bootstrapping in single-stage (full-radix) form.
-	ctsCols := probeColumns(n, func(v []complex128) { encoder.fftSpecialInv(v) })
-	stcCols := probeColumns(n, func(v []complex128) { encoder.fftSpecial(v) })
-
-	ctsFactor := complex(delta/q0, 0)
-	ctsDiags := MatrixFromFunc(n, func(r, c int) complex128 { return ctsCols[c][r] * ctsFactor }, 0)
-	stcFactor := complex(q0/delta, 0)
-	stcDiags := MatrixFromFunc(n, func(r, c int) complex128 { return stcCols[c][r] * stcFactor }, 0)
-
-	ctsScale := float64(p.Q[L]) * float64(p.Q[L-1])
-	cts, err := NewLinearTransform(encoder, ctsDiags, L, ctsScale)
-	if err != nil {
-		return nil, err
+	// The dense single-stage reference matrices are built lazily (see
+	// ensureDense): probing the special FFT column by column costs
+	// O(n²·log n) float work and O(n²) complex storage, which is fine at the
+	// test slot counts but prohibitive at the paper instance's 2^16 slots —
+	// a staged bootstrapper must stay constructible there without ever
+	// paying for the oracle it doesn't use. The non-staged configuration is
+	// the dense path, so it builds the matrices up front.
+	if !bp.Staged() {
+		if err := bt.ensureDense(); err != nil {
+			return nil, err
+		}
 	}
-	bt.cts = cts
-
-	bt.stcLevelDense = L - 3 - chebDepth
-	if bt.stcLevelDense < 1 {
-		return nil, fmt.Errorf("ckks: dense SlotToCoeff level %d too low", bt.stcLevelDense)
-	}
-	stc, err := NewLinearTransform(encoder, stcDiags, bt.stcLevelDense, float64(p.Q[bt.stcLevelDense]))
-	if err != nil {
-		return nil, err
-	}
-	bt.stc = stc
 
 	// Factored chains: CoeffToSlot = CtSStages-stage inverse DFT with the
 	// Δ/q0 normalization spread across stages; SlotToCoeff = StCStages-stage
-	// forward DFT carrying q0/Δ, starting where EvalMod leaves off.
+	// forward DFT carrying q0/Δ, starting where EvalMod leaves off. The
+	// SlotToCoeff chain also sheds the bootstrap working-scale boost (see
+	// scaleBoost below): its last stage is encoded at 1/boost times the
+	// prime's scale, so the refreshed ciphertext leaves at the input scale.
 	if bp.Staged() {
+		var err error
 		bt.ctsChain, err = encoder.EncodeDFTStages(DFTInverse, bp.CtSStages, L, delta/q0)
 		if err != nil {
 			return nil, fmt.Errorf("ckks: staged CoeffToSlot: %w", err)
 		}
 		bt.stcLevelStaged = L - bp.CtSStages - 1 - chebDepth
-		bt.stcChain, err = encoder.EncodeDFTStages(DFTForward, bp.StCStages, bt.stcLevelStaged, q0/delta)
+		bt.scaleBoost = bootScaleBoost(p, bt.stcLevelStaged)
+		bt.stcChain, err = encoder.EncodeDFTStagesShifted(DFTForward, bp.StCStages, bt.stcLevelStaged, q0/delta, 1/bt.scaleBoost)
 		if err != nil {
 			return nil, fmt.Errorf("ckks: staged SlotToCoeff: %w", err)
 		}
@@ -186,6 +179,33 @@ func NewBootstrapper(ctx *Context, encoder *Encoder, eval *Evaluator, bp Bootstr
 	return bt, nil
 }
 
+// bootScaleBoost returns the exact power-of-two factor by which the staged
+// pipeline raises the ciphertext scale between ModRaise and SlotToCoeff.
+//
+// EvalMod's precision is bounded by noise relative to the working scale: the
+// Chebyshev power basis amplifies its input's value noise by ~deg², and the
+// SlotToCoeff matrix carries that to the refreshed message with another
+// ~√slots·(q0/Δ). At the paper instance (2^16 slots, deg 255, q0/Δ = 2^10)
+// an EvalMod running at Δ = 2^50 therefore bottoms out around 2^-1 — far
+// from a working bootstrap. The cure, standard across real CKKS bootstrap
+// implementations, is to run the ModRaise→EvalMod span at the *bootstrap
+// section's* prime size: when the chain allocates larger primes to the
+// EvalMod levels (stcLevel+1 and up), an exact, noise-free scalar multiply
+// by 2^(primeBits-scaleBits) after ModRaise raises the working scale to
+// match, every rounding and key-switch noise in between lands relative to
+// that larger scale, and the last SlotToCoeff stage folds the boost back
+// out. Uniform chains (prime size == scale) get boost 1 and are untouched.
+func bootScaleBoost(p Parameters, stcLevel int) float64 {
+	// Primes are generated alternating around 2^bits, so round; Scale is an
+	// exact power of two.
+	scaleBits := int(math.Round(math.Log2(p.Scale)))
+	primeBits := int(math.Round(math.Log2(float64(p.Q[stcLevel+1]))))
+	if primeBits <= scaleBits {
+		return 1
+	}
+	return float64(uint64(1) << (primeBits - scaleBits))
+}
+
 // Evaluator returns the evaluator the bootstrapper runs on (the one passed
 // to NewBootstrapper) — benchmarks use it to toggle the transform path.
 func (bt *Bootstrapper) Evaluator() *Evaluator { return bt.eval }
@@ -194,9 +214,61 @@ func (bt *Bootstrapper) Evaluator() *Evaluator { return bt.eval }
 // reference matrices (true) or the factored stage chains (false, the
 // default when BootstrapParams configures stages). The dense path needs
 // rotation keys covering DenseRotations(); tests and benchmarks that toggle
-// should generate AllRotations(). Must not be toggled concurrently with
-// Bootstrap.
-func (bt *Bootstrapper) SetDenseTransforms(dense bool) { bt.dense = dense }
+// should generate AllRotations(). Enabling the dense path builds the
+// reference matrices on first use (they are lazy, see NewBootstrapper) and
+// panics if that construction fails — at large slot counts prefer never
+// enabling it. Must not be toggled concurrently with Bootstrap.
+func (bt *Bootstrapper) SetDenseTransforms(dense bool) {
+	if dense {
+		if err := bt.ensureDense(); err != nil {
+			panic(fmt.Sprintf("ckks: SetDenseTransforms: %v", err))
+		}
+	}
+	bt.dense = dense
+}
+
+// ensureDense builds the dense single-stage reference matrices on first use:
+// matrix columns are obtained by probing the special FFT with basis vectors —
+// the homomorphic linear transform of the paper's bootstrapping in
+// single-stage (full-radix) form.
+func (bt *Bootstrapper) ensureDense() error {
+	if bt.cts != nil {
+		return nil
+	}
+	p := bt.ctx.Params
+	L := p.MaxLevel()
+	n := p.Slots()
+	q0 := float64(p.Q[0])
+	delta := p.Scale
+	chebDepth := bitsFor(bt.bp.SineDegree+1) + 1
+	encoder := bt.encoder
+
+	ctsCols := probeColumns(n, func(v []complex128) { encoder.fftSpecialInv(v) })
+	stcCols := probeColumns(n, func(v []complex128) { encoder.fftSpecial(v) })
+
+	ctsFactor := complex(delta/q0, 0)
+	ctsDiags := MatrixFromFunc(n, func(r, c int) complex128 { return ctsCols[c][r] * ctsFactor }, 0)
+	stcFactor := complex(q0/delta, 0)
+	stcDiags := MatrixFromFunc(n, func(r, c int) complex128 { return stcCols[c][r] * stcFactor }, 0)
+
+	ctsScale := float64(p.Q[L]) * float64(p.Q[L-1])
+	cts, err := NewLinearTransform(encoder, ctsDiags, L, ctsScale)
+	if err != nil {
+		return err
+	}
+
+	bt.stcLevelDense = L - 3 - chebDepth
+	if bt.stcLevelDense < 1 {
+		return fmt.Errorf("ckks: dense SlotToCoeff level %d too low", bt.stcLevelDense)
+	}
+	stc, err := NewLinearTransform(encoder, stcDiags, bt.stcLevelDense, float64(p.Q[bt.stcLevelDense]))
+	if err != nil {
+		return err
+	}
+	bt.cts = cts
+	bt.stc = stc
+	return nil
+}
 
 // useDense reports whether Bootstrap currently routes through the dense
 // reference matrices.
@@ -232,8 +304,13 @@ func (bt *Bootstrapper) Rotations() []int {
 	return bt.DenseRotations()
 }
 
-// DenseRotations returns the rotation amounts of the dense reference path.
+// DenseRotations returns the rotation amounts of the dense reference path,
+// building the lazy dense matrices if needed (it panics if that fails, like
+// SetDenseTransforms).
 func (bt *Bootstrapper) DenseRotations() []int {
+	if err := bt.ensureDense(); err != nil {
+		panic(fmt.Sprintf("ckks: DenseRotations: %v", err))
+	}
 	return dedupRotations(bt.cts.Rotations(), bt.stc.Rotations())
 }
 
@@ -278,6 +355,14 @@ func (bt *Bootstrapper) Bootstrap(ct *Ciphertext) (*Ciphertext, error) {
 	// 1. ModRaise: re-interpret the mod-q0 residues over the whole chain;
 	// the plaintext becomes m + q0·I with small I (Section 2.4).
 	raised := bt.modRaise(ct)
+	if !bt.useDense() && bt.scaleBoost > 1 {
+		// Raise the working scale to the bootstrap section's prime size: an
+		// exact, noise-free integer scalar multiply (no level consumed).
+		// Every rounding and key-switch noise between here and SlotToCoeff
+		// now lands relative to the boosted scale; the last SlotToCoeff
+		// stage is encoded 1/boost low and sheds it (see bootScaleBoost).
+		raised = ev.MulConst(raised, 1, bt.scaleBoost)
+	}
 
 	// 2. CoeffToSlot: slots now hold (c_j + i·c_{j+n})/q0·(1/Δ-normalized),
 	// in bit-reversed slot order on the staged path.
@@ -306,7 +391,7 @@ func (bt *Bootstrapper) Bootstrap(ct *Ciphertext) (*Ciphertext, error) {
 	ctR = bt.normalize(ctR)
 	ctI = bt.normalize(ctI)
 
-	// 5. EvalMod: the scaled sine realizes y ↦ y mod 1 (frac part = m/q0).
+	// 5. EvalMod: the scaled sine realizes y ↦ y mod 1 = m_j/q0 per slot.
 	sR, err := ev.EvalChebyshev(ctR, bt.sineCoeffs)
 	if err != nil {
 		return nil, err
@@ -357,20 +442,32 @@ func (bt *Bootstrapper) modRaise(ct *Ciphertext) *Ciphertext {
 		rq.INTTRow(tmp, 0)
 		q0 := rq.Moduli[0].Q
 		half := q0 >> 1
+		// The centered lift needs the true mod-q0 coefficients, and its
+		// outputs re-enter the M-form world: strip the Montgomery factor
+		// once off the q0 row, and lift each re-reduced residue back.
+		mr0 := rq.Moduli[0].MRed
+		rq.ForEachLimbBlock(0, func(_, lo, hi int) {
+			for j := lo; j < hi; j++ {
+				tmp[j] = mr0.IForm(tmp[j])
+			}
+		})
 		rq.ForEachLimbBlock(L, func(i, lo, hi int) {
 			qi := rq.Moduli[i].Q
+			mri := rq.Moduli[i].MRed
 			row := dst.Coeffs[i]
 			for j := lo; j < hi; j++ {
 				v := tmp[j]
+				var u uint64
 				if v > half { // negative representative
 					neg := q0 - v
-					row[j] = qi - neg%qi
-					if row[j] == qi {
-						row[j] = 0
+					u = qi - neg%qi
+					if u == qi {
+						u = 0
 					}
 				} else {
-					row[j] = v % qi
+					u = v % qi
 				}
+				row[j] = mri.MForm(u)
 			}
 		})
 		rq.NTT(dst, L)

@@ -199,6 +199,17 @@ func (e *Encoder) DFTStageDiags(kind DFTKind, numStages int) ([]map[int][]comple
 // chain's product is B·U^{-1} (inverse) or U·B (forward), which compose to
 // the exact dense pair through any slot-wise pipeline.
 func (e *Encoder) EncodeDFTStages(kind DFTKind, numStages, levelStart int, factor float64) (*TransformChain, error) {
+	return e.EncodeDFTStagesShifted(kind, numStages, levelStart, factor, 1)
+}
+
+// EncodeDFTStagesShifted is EncodeDFTStages with an additional exact output
+// scale shift: the last stage is encoded at plaintext scale Q[level]·shift
+// instead of Q[level], so evaluating the chain multiplies the ciphertext
+// scale by shift while the represented values are untouched. The staged
+// bootstrapping pipeline uses shift = 1/scaleBoost on SlotToCoeff to fold
+// its working-scale boost back out (see Bootstrapper); shift = 1 reproduces
+// EncodeDFTStages exactly.
+func (e *Encoder) EncodeDFTStagesShifted(kind DFTKind, numStages, levelStart int, factor, shift float64) (*TransformChain, error) {
 	p := e.ctx.Params
 	if levelStart > p.MaxLevel() {
 		return nil, fmt.Errorf("ckks: DFT chain start level %d above max %d", levelStart, p.MaxLevel())
@@ -220,7 +231,11 @@ func (e *Encoder) EncodeDFTStages(kind DFTKind, numStages, levelStart int, facto
 			}
 		}
 		level := levelStart - i
-		lt, err := NewLinearTransform(e, diags, level, float64(p.Q[level]))
+		scale := float64(p.Q[level])
+		if i == numStages-1 {
+			scale *= shift
+		}
+		lt, err := NewLinearTransform(e, diags, level, scale)
 		if err != nil {
 			return nil, err
 		}

@@ -196,6 +196,26 @@ func TestEncodeDFTStagesHomomorphic(t *testing.T) {
 	if _, err := eval.TransformChain(ctLow, inv); err == nil {
 		t.Fatal("expected error for too-shallow ciphertext")
 	}
+
+	// A shifted forward chain multiplies the ciphertext scale by exactly the
+	// shift (values untouched) — the mechanism the staged bootstrap uses to
+	// shed its working-scale boost on SlotToCoeff.
+	const shift = 1.0 / 16
+	fwdShifted, err := e.EncodeDFTStagesShifted(DFTForward, 2, inv.OutputLevel(), 1.0/float64(n), shift)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backShifted, err := eval.TransformChain(mid, fwdShifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(backShifted.Scale/(s.params.Scale*shift)-1) > 1e-9 {
+		t.Fatalf("shifted chain scale %g, want %g", backShifted.Scale, s.params.Scale*shift)
+	}
+	got = e.Decode(s.dec.DecryptNew(backShifted))
+	if err := maxErr(got, v); err > 1e-3 {
+		t.Fatalf("shifted inverse→forward round trip error %g", err)
+	}
 }
 
 func TestNewTransformChainValidation(t *testing.T) {

@@ -149,7 +149,9 @@ func (ev *Evaluator) AddConst(ct *Ciphertext, c complex128) *Ciphertext {
 	re := int64(math.Round(real(c) * ct.Scale))
 	im := int64(math.Round(imag(c) * ct.Scale))
 	if re != 0 {
-		// A constant polynomial has the same value in every NTT slot.
+		// A constant polynomial has the same value in every NTT slot. The
+		// ciphertext rows are in Montgomery form, so the constant is lifted
+		// to M-form before the additive fold.
 		rq.ForEachLimbBlock(ct.Level, func(i, lo, hi int) {
 			q := rq.Moduli[i].Q
 			var w uint64
@@ -158,6 +160,7 @@ func (ev *Evaluator) AddConst(ct *Ciphertext, c complex128) *Ciphertext {
 			} else {
 				w = q - uint64(-re)%q
 			}
+			w = rq.Moduli[i].MRed.MForm(w)
 			row := out.C0.Coeffs[i]
 			for j := lo; j < hi; j++ {
 				row[j] = mod.Add(row[j], w, q)
@@ -175,6 +178,7 @@ func (ev *Evaluator) AddConst(ct *Ciphertext, c complex128) *Ciphertext {
 			} else {
 				w = q - uint64(-im)%q
 			}
+			w = rq.Moduli[i].MRed.MForm(w)
 			row := one.Coeffs[i]
 			for j := lo; j < hi; j++ {
 				row[j] = w

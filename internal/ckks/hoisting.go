@@ -120,8 +120,9 @@ func (ev *Evaluator) decomposeNTT(d *ring.Poly, lvl int) *HoistedDecomposition {
 // (ring.MulGatherAndAddLazy reads each slice through the automorphism index
 // table), so no permuted copy of the extended basis is ever materialized;
 // and the per-slice products accumulate as unreduced 128-bit sums
-// (ring.Acc128) with a single Barrett reduction per coefficient at the end,
-// collapsing β modular-reduction passes into one. Both changes are exact —
+// (ring.Acc128) with a single fused Barrett+REDC reduction per coefficient
+// at the end (ring.ReduceAcc — the M-form product sums carry an R² factor
+// the REDC strips), collapsing β modular-reduction passes into one. Both changes are exact —
 // the congruence class of a sum does not depend on when reductions happen —
 // so outputs remain bit-identical to the streaming keySwitch pipeline.
 // Slice counts beyond the rings' lazy overflow budget (unreachable with

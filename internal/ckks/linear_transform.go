@@ -128,6 +128,30 @@ func bsgsSplit(diagIndices []int, slots int) int {
 	return best
 }
 
+// BSGSRotations reports the cost-model baby-step split and the rotation set
+// a transform over the given diagonal index set would require, without
+// encoding any plaintexts — the static planning entry point btsparams uses
+// to size the Table 2 rotation-key set before paying for a real context.
+func BSGSRotations(diagIndices []int, slots int) (n1 int, rotations []int) {
+	n1 = bsgsSplit(diagIndices, slots)
+	set := map[int]bool{}
+	for _, k := range diagIndices {
+		k = ((k % slots) + slots) % slots
+		if b := k % n1; b != 0 {
+			set[b] = true
+		}
+		if g := k / n1; g != 0 {
+			set[g*n1] = true
+		}
+	}
+	rotations = make([]int, 0, len(set))
+	for r := range set {
+		rotations = append(rotations, r)
+	}
+	sort.Ints(rotations)
+	return n1, rotations
+}
+
 // N1 reports the baby-step count the transform was encoded for.
 func (lt *LinearTransform) N1() int { return lt.n1 }
 

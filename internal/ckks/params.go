@@ -43,6 +43,25 @@
 // the dense matrices kept as the equivalence oracle
 // (Bootstrapper.SetDenseTransforms). `btsbench -experiment bootstrap`
 // measures both pipelines and CI archives the report.
+//
+// # Montgomery ring core
+//
+// Every polynomial this package holds in RNS residues — ciphertext
+// components, plaintexts, switching keys, decomposition slices, Acc128
+// inputs — is stored in Montgomery form (x·R mod q, R = 2^64; see
+// internal/ring's package doc). The invariant is maintained entirely by the
+// ring layer: residues enter M-form where they are born (encoding's
+// SetBigCoeffs/SetInt64Coeffs, uniform/ternary/Gaussian sampling) and leave
+// it only at decode time and on the wire (internal/wire transports true
+// canonical residues). This package never converts forms itself — the
+// algebra keeps every evaluator path consistent, because multiplying two
+// M-form operands with a fused REDC yields an M-form product, while
+// multiplying by a *plain* precomputed constant (pModQ, P^-1 via its Shoup
+// companions, rescale q_ℓ^-1) is form-preserving: (x·R)·c mod q is (x·c)·R
+// mod q. The payoff is one 3-multiply reduction per butterfly, MAC and
+// element-wise product where the Barrett path paid roughly twice that;
+// `btsbench -experiment table2` measures the per-kernel speedups against
+// the retained Barrett reference loops and CI archives the report.
 package ckks
 
 import (

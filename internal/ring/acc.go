@@ -6,8 +6,12 @@ import (
 )
 
 // Acc128 is an extended-precision element-wise accumulator: one row per RNS
-// limb, each coefficient held as an unreduced 128-bit sum (lo, hi interleaved
-// pairs, so a row is 2N words). It implements the lazy multiply-accumulate
+// limb, each coefficient held as an unreduced 128-bit sum. A row is 2N words
+// stored planar — low words in [0,N), high words in [N,2N) — so the MAC
+// kernels index three equal-length views with the same induction variable and
+// the compiler eliminates every bounds check in the inner loops (the
+// interleaved (lo,hi) pair layout defeated the prove pass on the 2j/2j+1
+// accesses). It implements the lazy multiply-accumulate
 // discipline of the hottest inner loops — sum many residue products without
 // intermediate modular reduction, then reduce once per coefficient with a
 // single Barrett pass (mod.Reduce128 accepts arbitrary 128-bit inputs).
@@ -57,8 +61,8 @@ func (r *Ring) GetAcc(level int) *Acc128 {
 		}
 	}
 	r.exec.RunBlocks(level+1, 2*r.N, func(i, lo, hi int) {
-		row := a.Rows[i]
-		for j := lo; j < hi; j++ {
+		row := a.Rows[i][lo:hi:hi]
+		for j := range row {
 			row[j] = 0
 		}
 	})
@@ -82,13 +86,18 @@ func (r *Ring) PutAcc(a *Acc128) {
 // linear transform, where one giant step folds every diagonal product into
 // extended-basis accumulators before a single reduction + ModDown.
 func (r *Ring) MulCoeffsAndAddLazy(a, b *Poly, acc *Acc128, level int) {
+	n := r.N
 	r.exec.RunBlocks(level+1, r.N, func(i, lo, hi int) {
-		ra, rb, ro := a.Coeffs[i], b.Coeffs[i], acc.Rows[i]
-		for j := lo; j < hi; j++ {
+		ra := a.Coeffs[i][lo:hi:hi]
+		rb := b.Coeffs[i][lo:hi:hi]
+		rlo := acc.Rows[i][lo:hi:hi]
+		rhi := acc.Rows[i][n+lo : n+hi : n+hi]
+		rb, rlo, rhi = rb[:len(ra)], rlo[:len(ra)], rhi[:len(ra)]
+		for j := range ra {
 			pHi, pLo := bits.Mul64(ra[j], rb[j])
 			var c uint64
-			ro[2*j], c = bits.Add64(ro[2*j], pLo, 0)
-			ro[2*j+1], _ = bits.Add64(ro[2*j+1], pHi, c)
+			rlo[j], c = bits.Add64(rlo[j], pLo, 0)
+			rhi[j], _ = bits.Add64(rhi[j], pHi, c)
 		}
 	})
 }
@@ -101,27 +110,43 @@ func (r *Ring) MulCoeffsAndAddLazy(a, b *Poly, acc *Acc128, level int) {
 // the double-hoisted linear transform, where every decomposition slice would
 // otherwise be permuted into scratch before each accumulation.
 func (r *Ring) MulGatherAndAddLazy(a *Poly, table []int, b *Poly, acc *Acc128, level int) {
+	n := r.N
 	r.exec.RunBlocks(level+1, r.N, func(i, lo, hi int) {
-		ra, rb, ro := a.Coeffs[i], b.Coeffs[i], acc.Rows[i]
-		for j := lo; j < hi; j++ {
-			pHi, pLo := bits.Mul64(ra[table[j]], rb[j])
+		ra := a.Coeffs[i]
+		rb := b.Coeffs[i][lo:hi:hi]
+		tb := table[lo:hi:hi]
+		rlo := acc.Rows[i][lo:hi:hi]
+		rhi := acc.Rows[i][n+lo : n+hi : n+hi]
+		tb, rlo, rhi = tb[:len(rb)], rlo[:len(rb)], rhi[:len(rb)]
+		for j := range rb {
+			pHi, pLo := bits.Mul64(ra[tb[j]], rb[j])
 			var c uint64
-			ro[2*j], c = bits.Add64(ro[2*j], pLo, 0)
-			ro[2*j+1], _ = bits.Add64(ro[2*j+1], pHi, c)
+			rlo[j], c = bits.Add64(rlo[j], pLo, 0)
+			rhi[j], _ = bits.Add64(rhi[j], pHi, c)
 		}
 	})
 }
 
 // ReduceAcc reduces acc into out on rows [0..level]: one Barrett reduction
-// per coefficient, yielding exactly the canonical residues the equivalent
-// chain of reduced multiply-accumulates would have produced (the congruence
-// class of a sum does not depend on when reductions happen).
+// plus one REDC per coefficient, yielding exactly the canonical residues the
+// equivalent chain of reduced multiply-accumulates would have produced (the
+// congruence class of a sum does not depend on when reductions happen). The
+// accumulated products of two Montgomery-form operands each carry R², so
+// after the Barrett pass folds the 128-bit sum to (Σ aᵢbᵢ)·R² mod q, a
+// single REDC strips one R and lands the result in Montgomery form — the
+// whole conversion cost amortized over every product summed into the
+// accumulator.
 func (r *Ring) ReduceAcc(acc *Acc128, out *Poly, level int) {
+	n := r.N
 	r.exec.RunBlocks(level+1, r.N, func(i, lo, hi int) {
 		br := r.Moduli[i].BRed
-		ra, ro := acc.Rows[i], out.Coeffs[i]
-		for j := lo; j < hi; j++ {
-			ro[j] = br.Reduce128(ra[2*j+1], ra[2*j])
+		mr := r.Moduli[i].MRed
+		rlo := acc.Rows[i][lo:hi:hi]
+		rhi := acc.Rows[i][n+lo : n+hi : n+hi]
+		ro := out.Coeffs[i][lo:hi:hi]
+		rhi, ro = rhi[:len(rlo)], ro[:len(rlo)]
+		for j := range rlo {
+			ro[j] = mr.IForm(br.Reduce128(rhi[j], rlo[j]))
 		}
 	})
 }

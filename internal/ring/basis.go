@@ -31,11 +31,17 @@ import (
 type BasisExtender struct {
 	from, to []*Modulus
 
-	qhatInv      []uint64   // [(Q/q_j)^-1]_{q_j}
-	qhatInvShoup []uint64   // Shoup companions for the first stage
-	qhatTo       [][]uint64 // qhatTo[j][i] = [Q/q_j] mod to[i].Q
-	halfFrom     []uint64   // (q_j-1)/2, the centering threshold per source limb
-	negQTo       []uint64   // [-Q] mod to[i].Q, the centering correction
+	// qhatInv is stored as a plain (non-Montgomery) constant on purpose: the
+	// stage-1 input is in M-form, so the fused REDC product
+	// REDC(x·R · (Q/q_j)^-1) is the *true* digit y_j — exactly what stage 2
+	// needs, since the centered y_j crosses moduli as an integer. The stage-2
+	// tables are the opposite: qhatTo and negQTo carry the target-modulus
+	// M-form, so the Barrett fold of the 128-bit sum Σ y_j·[Q/q_j]·R lands
+	// directly in Montgomery form over the target base.
+	qhatInv  []uint64   // [(Q/q_j)^-1]_{q_j}, plain form
+	qhatTo   [][]uint64 // qhatTo[j][i] = [Q/q_j]·R mod to[i].Q (M-form)
+	halfFrom []uint64   // (q_j-1)/2, the centering threshold per source limb
+	negQTo   []uint64   // [-Q]·R mod to[i].Q (M-form), the centering correction
 
 	// lazyStage2 selects the 128-bit lazy accumulation in stage 2; it is
 	// cleared at construction when nf unreduced products could overflow
@@ -45,6 +51,7 @@ type BasisExtender struct {
 
 	exec    *Engine
 	scratch sync.Pool // *convScratch, the stage-1 rows
+	accPool sync.Pool // *[]uint64, per-task stage-2 accumulator blocks
 }
 
 // convScratch is a pooled block of len(from) stage-1 rows backed by one
@@ -75,14 +82,13 @@ func NewBasisExtender(from, to []*Modulus) (*BasisExtender, error) {
 		q.Mul(q, new(big.Int).SetUint64(m.Q))
 	}
 	be := &BasisExtender{
-		from:         from,
-		to:           to,
-		qhatInv:      make([]uint64, len(from)),
-		qhatInvShoup: make([]uint64, len(from)),
-		qhatTo:       make([][]uint64, len(from)),
-		halfFrom:     make([]uint64, len(from)),
-		negQTo:       make([]uint64, len(to)),
-		exec:         DefaultEngine(),
+		from:     from,
+		to:       to,
+		qhatInv:  make([]uint64, len(from)),
+		qhatTo:   make([][]uint64, len(from)),
+		halfFrom: make([]uint64, len(from)),
+		negQTo:   make([]uint64, len(to)),
+		exec:     DefaultEngine(),
 	}
 	tmp := new(big.Int)
 	for j, m := range from {
@@ -90,10 +96,9 @@ func NewBasisExtender(from, to []*Modulus) (*BasisExtender, error) {
 		qhat := new(big.Int).Quo(q, qj)
 		inv := new(big.Int).ModInverse(tmp.Mod(qhat, qj), qj)
 		be.qhatInv[j] = inv.Uint64()
-		be.qhatInvShoup[j] = mod.ShoupPrecomp(be.qhatInv[j], m.Q)
 		be.qhatTo[j] = make([]uint64, len(to))
 		for i, mt := range to {
-			be.qhatTo[j][i] = tmp.Mod(qhat, new(big.Int).SetUint64(mt.Q)).Uint64()
+			be.qhatTo[j][i] = mt.MRed.MForm(tmp.Mod(qhat, new(big.Int).SetUint64(mt.Q)).Uint64())
 		}
 		be.halfFrom[j] = m.Q >> 1
 	}
@@ -105,7 +110,7 @@ func NewBasisExtender(from, to []*Modulus) (*BasisExtender, error) {
 	}
 	for i, mt := range to {
 		qmod := tmp.Mod(q, new(big.Int).SetUint64(mt.Q)).Uint64()
-		be.negQTo[i] = mod.Neg(qmod, mt.Q)
+		be.negQTo[i] = mt.MRed.MForm(mod.Neg(qmod, mt.Q))
 		if mt.Q > maxTo {
 			maxTo = mt.Q
 		}
@@ -156,57 +161,98 @@ func (be *BasisExtender) Convert(in, out [][]uint64) {
 	stage1 := scratch.rows[:nf]
 	// Stage 1: y_j = [x_j * (Q/q_j)^-1]_{q_j}, sharded over source limbs ×
 	// coefficient blocks (each task writes a disjoint segment of one row).
+	// The input residues are in M-form and qhatInv is plain, so the fused
+	// REDC strips the R factor and the digits come out as true residues.
 	be.exec.RunBlocks(nf, n, func(j, lo, hi int) {
-		q := be.from[j].Q
-		w, ws := be.qhatInv[j], be.qhatInvShoup[j]
-		row, src := stage1[j], in[j]
-		for k := lo; k < hi; k++ {
-			row[k] = mod.MulShoup(src[k], w, ws, q)
+		mr := be.from[j].MRed
+		w := be.qhatInv[j]
+		row := stage1[j][lo:hi:hi]
+		src := in[j][lo:hi:hi]
+		src = src[:len(row)]
+		for k := range row {
+			row[k] = mr.Mul(src[k], w)
 		}
 	})
 	// Stage 2: out_i = Σ_j f(y_j) * [Q/q_j]_{p_i} (coefficient-wise MAC),
 	// sharded over target limbs × coefficient blocks; every task reads the
 	// same coefficient range of all stage-1 rows, and the barrier between
-	// the two RunBlocks calls is the stage-1/stage-2 dependency. Normally
-	// the sum is accumulated lazily in 128 bits per coefficient and reduced
-	// once (mod.Reduce128 takes arbitrary 128-bit inputs; lazyStage2
-	// certifies the worst case cannot overflow), which produces the same
-	// canonical residues as a chain of reduced adds at a fraction of the
-	// cost; pathologically wide bases take the reduced per-term loop.
+	// the two RunBlocks calls is the stage-1/stage-2 dependency. The MAC
+	// iterates source limb outer, coefficient inner, folding each stage-1
+	// row into a pooled per-task accumulator block: every slice is walked
+	// contiguously with a shared induction variable, so the inner loops
+	// carry no bounds checks (the coefficient-outer form paid five per
+	// term). Normally the sum is accumulated lazily in 128 bits per
+	// coefficient (planar: low words then high words) and reduced once
+	// (mod.Reduce128 takes arbitrary 128-bit inputs; lazyStage2 certifies
+	// the worst case cannot overflow), which produces the same canonical
+	// residues as a chain of reduced adds at a fraction of the cost —
+	// 128-bit accumulation is exact, so the summation order is immaterial;
+	// pathologically wide bases take the reduced per-term path.
 	be.exec.RunBlocks(nt, n, func(i, lo, hi int) {
 		br := be.to[i].BRed
 		qi := be.to[i].Q
 		negQ := be.negQTo[i]
-		dst := out[i]
+		w := hi - lo
+		bp, _ := be.accPool.Get().(*[]uint64)
+		if bp == nil || cap(*bp) < 2*w {
+			b := make([]uint64, 2*w)
+			bp = &b
+		}
+		buf := (*bp)[:cap(*bp)]
 		if be.lazyStage2 {
-			for k := lo; k < hi; k++ {
-				var accHi, accLo, c uint64
-				for j := 0; j < nf; j++ {
-					y := stage1[j][k]
-					hi, lo := bits.Mul64(y, be.qhatTo[j][i])
-					if y > be.halfFrom[j] {
-						lo, c = bits.Add64(lo, negQ, 0)
-						hi += c
-					}
-					accLo, c = bits.Add64(accLo, lo, 0)
-					accHi += hi + c
-				}
-				dst[k] = br.Reduce128(accHi, accLo)
+			aLo := buf[0:w:w]
+			aHi := buf[w : 2*w : 2*w]
+			aHi = aHi[:len(aLo)]
+			for k := range aLo {
+				aLo[k], aHi[k] = 0, 0
 			}
+			for j := 0; j < nf; j++ {
+				y := stage1[j][lo:hi:hi]
+				qh := be.qhatTo[j][i]
+				halfJ := be.halfFrom[j]
+				y = y[:len(aLo)]
+				for k := range y {
+					pHi, pLo := bits.Mul64(y[k], qh)
+					var c uint64
+					if y[k] > halfJ {
+						pLo, c = bits.Add64(pLo, negQ, 0)
+						pHi += c
+					}
+					aLo[k], c = bits.Add64(aLo[k], pLo, 0)
+					aHi[k] += pHi + c
+				}
+			}
+			dst := out[i][lo:hi:hi]
+			dst = dst[:len(aLo)]
+			for k := range dst {
+				dst[k] = br.Reduce128(aHi[k], aLo[k])
+			}
+			be.accPool.Put(bp)
 			return
 		}
-		for k := lo; k < hi; k++ {
-			var acc uint64
-			for j := 0; j < nf; j++ {
-				y := stage1[j][k]
-				v := br.Mul(y, be.qhatTo[j][i])
-				if y > be.halfFrom[j] {
+		acc := buf[0:w:w]
+		for k := range acc {
+			acc[k] = 0
+		}
+		for j := 0; j < nf; j++ {
+			y := stage1[j][lo:hi:hi]
+			qh := be.qhatTo[j][i]
+			halfJ := be.halfFrom[j]
+			y = y[:len(acc)]
+			for k := range y {
+				v := br.Mul(y[k], qh)
+				if y[k] > halfJ {
 					v = mod.Add(v, negQ, qi)
 				}
-				acc = mod.Add(acc, v, qi)
+				acc[k] = mod.Add(acc[k], v, qi)
 			}
-			dst[k] = acc
 		}
+		dst := out[i][lo:hi:hi]
+		dst = dst[:len(acc)]
+		for k := range dst {
+			dst[k] = acc[k]
+		}
+		be.accPool.Put(bp)
 	})
 	be.scratch.Put(scratch)
 }
@@ -237,11 +283,15 @@ func (r *Ring) DivRoundByLastModulusNTT(p *Poly, level int) {
 	copy(last, p.Coeffs[level])
 	r.inttRows([][]uint64{last}, []*Modulus{mL})
 
-	// Pre-add q_L/2 so the subsequent per-prime reduction realizes a
-	// centered (rounding) lift rather than a floor.
+	// Strip the Montgomery factor off the dropped residue — the rounding
+	// lift below reduces it modulo every *other* prime, which is only
+	// meaningful for the true integer — and pre-add q_L/2 so the subsequent
+	// per-prime reduction realizes a centered (rounding) lift, not a floor.
+	mrL := mL.MRed
 	r.exec.RunBlocks(1, r.N, func(_, lo, hi int) {
-		for j := lo; j < hi; j++ {
-			last[j] = mod.Add(last[j], half, qL)
+		seg := last[lo:hi:hi]
+		for j := range seg {
+			seg[j] = mod.Add(mrL.IForm(seg[j]), half, qL)
 		}
 	})
 
@@ -249,9 +299,13 @@ func (r *Ring) DivRoundByLastModulusNTT(p *Poly, level int) {
 	r.exec.RunBlocks(level, r.N, func(i, lo, hi int) {
 		mi := r.Moduli[i]
 		halfModQi := r.rescaleHalf[level][i]
-		row := tmp.Coeffs[i]
-		for j := lo; j < hi; j++ {
-			row[j] = mod.Sub(mi.BRed.Reduce(last[j]), halfModQi, mi.Q)
+		row := tmp.Coeffs[i][lo:hi:hi]
+		src := last[lo:hi:hi]
+		src = src[:len(row)]
+		// The correction rows re-enter the M-form world here, so the fused
+		// subtract-scale pass below stays a pure M-form kernel.
+		for j := range row {
+			row[j] = mi.MRed.MForm(mod.Sub(mi.BRed.Reduce(src[j]), halfModQi, mi.Q))
 		}
 	})
 	r.nttRows(tmp.Coeffs[:level], r.Moduli[:level])
@@ -259,8 +313,10 @@ func (r *Ring) DivRoundByLastModulusNTT(p *Poly, level int) {
 		qi := r.Moduli[i].Q
 		qInv := r.rescaleQInv[level][i]
 		qInvShoup := r.rescaleQInvShoup[level][i]
-		row, t := p.Coeffs[i], tmp.Coeffs[i]
-		for j := lo; j < hi; j++ {
+		row := p.Coeffs[i][lo:hi:hi]
+		t := tmp.Coeffs[i][lo:hi:hi]
+		t = t[:len(row)]
+		for j := range row {
 			row[j] = mod.MulShoup(mod.Sub(row[j], t[j], qi), qInv, qInvShoup, qi)
 		}
 	})

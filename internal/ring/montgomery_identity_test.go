@@ -1,0 +1,290 @@
+package ring
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"bts/internal/mod"
+)
+
+// This file pins the Montgomery refactor to the Barrett ground truth: for
+// every ring kernel, IForm(kernel_M(MForm(x))) must be bit-identical to
+// kernel_Barrett(x), at every level of the chain and under every engine
+// shape (serial, limb-parallel, coefficient-block sharded with odd blocks).
+// Run with -race to also certify the sharded dispatch.
+
+// identityConfigs enumerates the (workers, blockSize) engine shapes the
+// identity checks run under.
+var identityConfigs = []struct{ workers, block int }{
+	{0, 0},       // serial, default blocks
+	{1, 64},      // single worker, forced small blocks
+	{3, 48},      // odd worker count, ragged blocks
+	{7, 1 << 20}, // wide pool, limb-only dispatch
+}
+
+// assertPlainEqual compares the IForm of an M-form polynomial against a plain
+// reference, word for word.
+func assertPlainEqual(t *testing.T, r *Ring, label string, mform, plain *Poly, level int) {
+	t.Helper()
+	got := r.CopyNew(mform, level)
+	r.IForm(got, got, level)
+	for i := 0; i <= level; i++ {
+		for j := 0; j < r.N; j++ {
+			if got.Coeffs[i][j] != plain.Coeffs[i][j] {
+				t.Fatalf("%s: limb %d coeff %d: M-form path %d, Barrett path %d",
+					label, i, j, got.Coeffs[i][j], plain.Coeffs[i][j])
+			}
+		}
+	}
+}
+
+func TestMontgomeryKernelsBitIdenticalToBarrett(t *testing.T) {
+	const logN = 6
+	const nPrimes = 4
+	primes, err := mod.GenerateNTTPrimes(45, logN, nPrimes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range identityConfigs {
+		cfg := cfg
+		t.Run(fmt.Sprintf("workers=%d_block=%d", cfg.workers, cfg.block), func(t *testing.T) {
+			r, err := NewRing(logN, primes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := NewEngine(cfg.workers)
+			defer e.Close()
+			if cfg.block > 0 {
+				e.SetBlockSize(cfg.block)
+			}
+			r.SetEngine(e)
+			rng := rand.New(rand.NewSource(99))
+			for level := 0; level < nPrimes; level++ {
+				// Plain ground-truth operands and their M-form images
+				// (uniform words serve as true residues directly; x ↦ xR is
+				// a bijection, so the M-form copies are uniform too).
+				a := r.NewPolyLevel(level)
+				b := r.NewPolyLevel(level)
+				r.SampleUniform(rng, a, level)
+				r.SampleUniform(rng, b, level)
+				aM := r.CopyNew(a, level)
+				bM := r.CopyNew(b, level)
+				r.MForm(aM, aM, level)
+				r.MForm(bM, bM, level)
+
+				// Forward and inverse NTT.
+				pM, pB := r.CopyNew(aM, level), r.CopyNew(a, level)
+				r.NTT(pM, level)
+				r.NTTBarrett(pB, level)
+				assertPlainEqual(t, r, fmt.Sprintf("NTT level %d", level), pM, pB, level)
+				r.INTT(pM, level)
+				r.INTTBarrett(pB, level)
+				assertPlainEqual(t, r, fmt.Sprintf("INTT level %d", level), pM, pB, level)
+
+				// Element-wise products.
+				outM, outB := r.NewPolyLevel(level), r.NewPolyLevel(level)
+				r.MulCoeffs(aM, bM, outM, level)
+				r.MulCoeffsBarrett(a, b, outB, level)
+				assertPlainEqual(t, r, fmt.Sprintf("MulCoeffs level %d", level), outM, outB, level)
+
+				r.MulCoeffsAndAdd(aM, bM, outM, level)
+				r.MulCoeffsAndAddBarrett(a, b, outB, level)
+				assertPlainEqual(t, r, fmt.Sprintf("MulCoeffsAndAdd level %d", level), outM, outB, level)
+
+				// Scalar multiply, including an unreduced scalar.
+				for _, s := range []uint64{0, 1, 12345, ^uint64(0) - 17} {
+					r.MulScalar(aM, s, outM, level)
+					r.MulScalarBarrett(a, s, outB, level)
+					assertPlainEqual(t, r, fmt.Sprintf("MulScalar(%d) level %d", s, level), outM, outB, level)
+				}
+
+				// Form-agnostic kernels: the same function is its own
+				// reference on plain operands.
+				r.Add(aM, bM, outM, level)
+				r.Add(a, b, outB, level)
+				assertPlainEqual(t, r, fmt.Sprintf("Add level %d", level), outM, outB, level)
+				r.Sub(aM, bM, outM, level)
+				r.Sub(a, b, outB, level)
+				assertPlainEqual(t, r, fmt.Sprintf("Sub level %d", level), outM, outB, level)
+				r.Neg(aM, outM, level)
+				r.Neg(a, outB, level)
+				assertPlainEqual(t, r, fmt.Sprintf("Neg level %d", level), outM, outB, level)
+
+				// MulByMonomialNTT multiplies by an M-form twiddle with a
+				// fused REDC, so it preserves the operand's form: running it
+				// on the plain copy yields the plain reference.
+				r.MulByMonomialNTT(aM, r.N/2, outM, level)
+				r.MulByMonomialNTT(a, r.N/2, outB, level)
+				assertPlainEqual(t, r, fmt.Sprintf("MulByMonomialNTT level %d", level), outM, outB, level)
+
+				// Lazy 128-bit MAC chain: two accumulations then one fused
+				// Barrett+REDC reduction, against two reduced Barrett MACs.
+				acc := r.GetAcc(level)
+				r.MulCoeffsAndAddLazy(aM, bM, acc, level)
+				r.MulCoeffsAndAddLazy(bM, bM, acc, level)
+				r.ReduceAcc(acc, outM, level)
+				r.PutAcc(acc)
+				r.Zero(outB, level)
+				r.MulCoeffsAndAddBarrett(a, b, outB, level)
+				r.MulCoeffsAndAddBarrett(b, b, outB, level)
+				assertPlainEqual(t, r, fmt.Sprintf("Acc128 MAC level %d", level), outM, outB, level)
+
+				// Fused gather-MAC against permute-then-MAC.
+				g := r.GaloisElement(1)
+				table := r.AutoIndexNTT(g)
+				acc = r.GetAcc(level)
+				r.MulCoeffsAndAddLazy(aM, bM, acc, level)
+				r.MulGatherAndAddLazy(bM, table, aM, acc, level)
+				r.ReduceAcc(acc, outM, level)
+				r.PutAcc(acc)
+				perm := r.NewPolyLevel(level)
+				r.AutomorphismNTT(b, g, perm, level)
+				r.Zero(outB, level)
+				r.MulCoeffsAndAddBarrett(a, b, outB, level)
+				r.MulCoeffsAndAddBarrett(perm, a, outB, level)
+				assertPlainEqual(t, r, fmt.Sprintf("gather MAC level %d", level), outM, outB, level)
+			}
+		})
+	}
+}
+
+// TestBasisExtenderBitIdenticalAcrossEngines pins BConv to a serial big.Int
+// implementation of the exact centered formula, for M-form inputs and
+// outputs, under every engine shape.
+func TestBasisExtenderBitIdenticalAcrossEngines(t *testing.T) {
+	const logN = 5
+	primesQ, err := mod.GenerateNTTPrimes(45, logN, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	primesP, err := mod.GenerateNTTPrimes(46, logN, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rQ, err := NewRing(logN, primesQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rP, err := NewRing(logN, primesP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 1 << logN
+
+	// True-residue inputs.
+	rng := rand.New(rand.NewSource(5))
+	xTrue := make([][]uint64, len(primesQ))
+	for j, q := range primesQ {
+		xTrue[j] = make([]uint64, n)
+		for k := range xTrue[j] {
+			xTrue[j][k] = rng.Uint64() % q
+		}
+	}
+
+	// Reference: y_j = x_j·(Q/q_j)^-1 mod q_j, out_i = Σ_j f(y_j)·(Q/q_j)
+	// mod p_i with the centered f.
+	bigQ := big.NewInt(1)
+	for _, q := range primesQ {
+		bigQ.Mul(bigQ, new(big.Int).SetUint64(q))
+	}
+	want := make([][]uint64, len(primesP))
+	for i, p := range primesP {
+		want[i] = make([]uint64, n)
+		pb := new(big.Int).SetUint64(p)
+		for k := 0; k < n; k++ {
+			acc := new(big.Int)
+			for j, q := range primesQ {
+				qb := new(big.Int).SetUint64(q)
+				qhat := new(big.Int).Quo(bigQ, qb)
+				inv := new(big.Int).ModInverse(new(big.Int).Mod(qhat, qb), qb)
+				y := new(big.Int).Mul(new(big.Int).SetUint64(xTrue[j][k]), inv)
+				y.Mod(y, qb)
+				if y.Uint64() > q>>1 {
+					y.Sub(y, qb) // centered representative
+				}
+				acc.Add(acc, y.Mul(y, qhat))
+			}
+			want[i][k] = new(big.Int).Mod(acc, pb).Uint64()
+		}
+	}
+
+	for _, cfg := range identityConfigs {
+		e := NewEngine(cfg.workers)
+		if cfg.block > 0 {
+			e.SetBlockSize(cfg.block)
+		}
+		be, err := NewBasisExtender(rQ.Moduli, rP.Moduli)
+		if err != nil {
+			t.Fatal(err)
+		}
+		be.SetEngine(e)
+
+		// M-form inputs, as ModUp presents them.
+		in := make([][]uint64, len(primesQ))
+		for j := range in {
+			mr := rQ.Moduli[j].MRed
+			in[j] = make([]uint64, n)
+			for k := range in[j] {
+				in[j][k] = mr.MForm(xTrue[j][k])
+			}
+		}
+		out := make([][]uint64, len(primesP))
+		for i := range out {
+			out[i] = make([]uint64, n)
+		}
+		be.Convert(in, out)
+		for i := range out {
+			mr := rP.Moduli[i].MRed
+			for k := range out[i] {
+				if got := mr.IForm(out[i][k]); got != want[i][k] {
+					t.Fatalf("workers=%d block=%d: target limb %d coeff %d: got %d want %d",
+						cfg.workers, cfg.block, i, k, got, want[i][k])
+				}
+			}
+		}
+		e.Close()
+	}
+}
+
+// TestDivRoundBitIdenticalAcrossEngines checks the four-pass rescale produces
+// identical words under every engine shape (the serial result is the
+// reference).
+func TestDivRoundBitIdenticalAcrossEngines(t *testing.T) {
+	const logN = 6
+	primes, err := mod.GenerateNTTPrimes(45, logN, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref *Poly
+	for _, cfg := range identityConfigs {
+		r, err := NewRing(logN, primes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := NewEngine(cfg.workers)
+		if cfg.block > 0 {
+			e.SetBlockSize(cfg.block)
+		}
+		r.SetEngine(e)
+		rng := rand.New(rand.NewSource(11))
+		p := r.NewPolyLevel(3)
+		r.SampleUniform(rng, p, 3)
+		r.NTT(p, 3)
+		r.DivRoundByLastModulusNTT(p, 3)
+		if ref == nil {
+			ref = p
+		} else {
+			for i := 0; i < 3; i++ {
+				for j := 0; j < r.N; j++ {
+					if p.Coeffs[i][j] != ref.Coeffs[i][j] {
+						t.Fatalf("workers=%d block=%d: limb %d coeff %d diverges from serial rescale",
+							cfg.workers, cfg.block, i, j)
+					}
+				}
+			}
+		}
+		e.Close()
+	}
+}

@@ -1,7 +1,5 @@
 package ring
 
-import "bts/internal/mod"
-
 // NTT transforms rows [0..level] of p in place from coefficient domain to the
 // NTT (evaluation) domain. The transform is the negacyclic number-theoretic
 // transform: polynomial multiplication in R_q becomes element-wise
@@ -10,6 +8,15 @@ import "bts/internal/mod"
 // The implementation is the standard in-place Cooley–Tukey decimation-in-time
 // network with twiddle factors stored in bit-reversed order, i.e. the exact
 // butterfly the paper's NTTU executes (Butterfly_NTT: X' = X+W·Y, Y' = X-W·Y).
+// Twiddles live in Montgomery form and every butterfly multiply is one lazy
+// REDC (mod.Montgomery.MulLazy): intermediate values ride in [0, 2q) through
+// all log N stages — the additive halves pay one conditional subtraction of
+// 2q instead of a canonical reduction — and a single final pass normalizes to
+// canonical residues, so the output is bit-identical to a fully reduced
+// transform. Because a REDC multiply by an M-form constant maps x ↦ x·w mod q
+// regardless of x's own form, the network preserves the package's
+// Montgomery-form invariant without any conversion.
+//
 // Each residue row is an independent transform; when the active rows alone
 // can occupy the pool they are fanned out one task per limb (the paper's
 // limb-level parallelism). When they cannot — low-level ciphertexts on a
@@ -25,7 +32,9 @@ func (r *Ring) NTT(p *Poly, level int) {
 
 // INTT transforms rows [0..level] of p in place from the NTT domain back to
 // the coefficient domain (Butterfly_iNTT: X' = X+Y, Y' = (X-Y)·W^-1, followed
-// by scaling with N^-1), sharded exactly like NTT.
+// by scaling with N^-1), sharded exactly like NTT. The N^-1 scaling pass
+// doubles as the normalization pass: its REDC multiply reduces the lazy
+// [0, 2q) values to canonical residues.
 func (r *Ring) INTT(p *Poly, level int) {
 	r.inttRows(p.Coeffs[:level+1], r.Moduli[:level+1])
 }
@@ -45,7 +54,8 @@ func (r *Ring) INTTRow(row []uint64, i int) {
 
 // nttRows forward-transforms rows[i] under moduli ms[i], picking between the
 // two schedules: one task per row when the rows can fill the pool, or the
-// stage-sharded schedule when they cannot.
+// stage-sharded schedule when they cannot. Both finish with the lazy→canonical
+// normalization pass.
 func (r *Ring) nttRows(rows [][]uint64, ms []*Modulus) {
 	if r.exec.blockCount(len(rows), r.N/2) <= 1 {
 		r.exec.Run(len(rows), func(i int) { r.nttRow(rows[i], ms[i]) })
@@ -59,10 +69,20 @@ func (r *Ring) nttRows(rows [][]uint64, ms []*Modulus) {
 			nttStageRange(rows[i], ms[i], mLen, t, lo, hi)
 		})
 	}
+	r.exec.RunBlocks(len(rows), n, func(i, lo, hi int) {
+		q := ms[i].Q
+		a := rows[i][lo:hi:hi]
+		for j := range a {
+			if a[j] >= q {
+				a[j] -= q
+			}
+		}
+	})
 }
 
 // inttRows is the inverse counterpart of nttRows; the trailing N^-1 scaling
-// pass is element-wise and sharded over coefficients directly.
+// pass is element-wise, sharded over coefficients directly, and normalizes
+// the lazy values to canonical residues via its full REDC.
 func (r *Ring) inttRows(rows [][]uint64, ms []*Modulus) {
 	if r.exec.blockCount(len(rows), r.N/2) <= 1 {
 		r.exec.Run(len(rows), func(i int) { r.inttRow(rows[i], ms[i]) })
@@ -80,9 +100,11 @@ func (r *Ring) inttRows(rows [][]uint64, ms []*Modulus) {
 	}
 	r.exec.RunBlocks(len(rows), n, func(i, lo, hi int) {
 		m := ms[i]
-		a := rows[i]
-		for j := lo; j < hi; j++ {
-			a[j] = mod.MulShoup(a[j], m.NInv, m.nInvShoup, m.Q)
+		nInvM := m.nInvM
+		mr := m.MRed
+		a := rows[i][lo:hi:hi]
+		for j := range a {
+			a[j] = mr.Mul(a[j], nInvM)
 		}
 	})
 }
@@ -91,9 +113,13 @@ func (r *Ring) inttRows(rows [][]uint64, ms []*Modulus) {
 // row a: the stage has mLen groups of t butterflies each, and butterfly b
 // belongs to group g = b/t at offset j = b mod t, touching a[2·g·t+j] and
 // a[2·g·t+j+t]. Distinct butterflies of one stage touch disjoint pairs, so
-// any partition of [0, n/2) is race-free and order-independent.
+// any partition of [0, n/2) is race-free and order-independent. Values stay
+// in [0, 2q): the REDC-lazy twiddle product of a value < 2q is < 2q (q has
+// two headroom bits below 2^64), and each output pays one conditional
+// subtraction of 2q.
 func nttStageRange(a []uint64, m *Modulus, mLen, t, lo, hi int) {
-	q := m.Q
+	twoQ := 2 * m.Q
+	mr := m.MRed
 	for b := lo; b < hi; {
 		g := b / t
 		j := b - g*t
@@ -102,13 +128,25 @@ func nttStageRange(a []uint64, m *Modulus, mLen, t, lo, hi int) {
 			end = t
 		}
 		w := m.psiRev[mLen+g]
-		ws := m.psiRevShoup[mLen+g]
 		base := 2 * g * t
-		for ; j < end; j++ {
-			u := a[base+j]
-			v := mod.MulShoup(a[base+j+t], w, ws, q)
-			a[base+j] = mod.Add(u, v, q)
-			a[base+j+t] = mod.Sub(u, v, q)
+		// Re-slice so the compiler can drop the bounds checks: both views
+		// cover exactly the butterflies [j, end) of this group.
+		x := a[base+j : base+end : base+end]
+		y := a[base+t+j : base+t+end : base+t+end]
+		y = y[:len(x)]
+		for k := range x {
+			u := x[k]
+			v := mr.MulLazy(y[k], w)
+			s := u + v
+			if s >= twoQ {
+				s -= twoQ
+			}
+			d := u + twoQ - v
+			if d >= twoQ {
+				d -= twoQ
+			}
+			x[k] = s
+			y[k] = d
 		}
 		b = g*t + end
 	}
@@ -116,9 +154,13 @@ func nttStageRange(a []uint64, m *Modulus, mLen, t, lo, hi int) {
 
 // inttStageRange is the Gentleman–Sande counterpart: the stage has h groups
 // of t butterflies, butterfly b in group g = b/t at offset j touches
-// a[2·g·t+j] and a[2·g·t+j+t] with twiddle ψ^-1 index h+g.
+// a[2·g·t+j] and a[2·g·t+j+t] with twiddle ψ^-1 index h+g. The difference
+// path feeds u-v+2q < 4q into the lazy REDC (still inside its input bound,
+// 4q < 2^64) and comes out < 2q with no conditional at all; only the sum
+// path pays one.
 func inttStageRange(a []uint64, m *Modulus, h, t, lo, hi int) {
-	q := m.Q
+	twoQ := 2 * m.Q
+	mr := m.MRed
 	for b := lo; b < hi; {
 		g := b / t
 		j := b - g*t
@@ -127,13 +169,19 @@ func inttStageRange(a []uint64, m *Modulus, h, t, lo, hi int) {
 			end = t
 		}
 		w := m.psiInvRev[h+g]
-		ws := m.psiInvRevShoup[h+g]
 		base := 2 * g * t
-		for ; j < end; j++ {
-			u := a[base+j]
-			v := a[base+j+t]
-			a[base+j] = mod.Add(u, v, q)
-			a[base+j+t] = mod.MulShoup(mod.Sub(u, v, q), w, ws, q)
+		x := a[base+j : base+end : base+end]
+		y := a[base+t+j : base+t+end : base+t+end]
+		y = y[:len(x)]
+		for k := range x {
+			u := x[k]
+			v := y[k]
+			s := u + v
+			if s >= twoQ {
+				s -= twoQ
+			}
+			x[k] = s
+			y[k] = mr.MulLazy(u+twoQ-v, w)
 		}
 		b = g*t + end
 	}
@@ -142,45 +190,70 @@ func inttStageRange(a []uint64, m *Modulus, h, t, lo, hi int) {
 func (r *Ring) nttRow(a []uint64, m *Modulus) {
 	n := r.N
 	q := m.Q
+	twoQ := 2 * q
+	mr := m.MRed
 	t := n
 	for mLen := 1; mLen < n; mLen <<= 1 {
 		t >>= 1
 		for i := 0; i < mLen; i++ {
 			w := m.psiRev[mLen+i]
-			ws := m.psiRevShoup[mLen+i]
-			j1 := 2 * i * t
-			for j := j1; j < j1+t; j++ {
-				u := a[j]
-				v := mod.MulShoup(a[j+t], w, ws, q)
-				a[j] = mod.Add(u, v, q)
-				a[j+t] = mod.Sub(u, v, q)
+			base := 2 * i * t
+			x := a[base : base+t : base+t]
+			y := a[base+t : base+2*t : base+2*t]
+			y = y[:len(x)]
+			for j := range x {
+				u := x[j]
+				v := mr.MulLazy(y[j], w)
+				s := u + v
+				if s >= twoQ {
+					s -= twoQ
+				}
+				d := u + twoQ - v
+				if d >= twoQ {
+					d -= twoQ
+				}
+				x[j] = s
+				y[j] = d
 			}
+		}
+	}
+	for j := range a {
+		if a[j] >= q {
+			a[j] -= q
 		}
 	}
 }
 
 func (r *Ring) inttRow(a []uint64, m *Modulus) {
 	n := r.N
-	q := m.Q
+	twoQ := 2 * m.Q
+	mr := m.MRed
 	t := 1
 	for mLen := n; mLen > 1; mLen >>= 1 {
 		j1 := 0
 		h := mLen >> 1
 		for i := 0; i < h; i++ {
 			w := m.psiInvRev[h+i]
-			ws := m.psiInvRevShoup[h+i]
-			for j := j1; j < j1+t; j++ {
-				u := a[j]
-				v := a[j+t]
-				a[j] = mod.Add(u, v, q)
-				a[j+t] = mod.MulShoup(mod.Sub(u, v, q), w, ws, q)
+			x := a[j1 : j1+t : j1+t]
+			y := a[j1+t : j1+2*t : j1+2*t]
+			y = y[:len(x)]
+			for j := range x {
+				u := x[j]
+				v := y[j]
+				s := u + v
+				if s >= twoQ {
+					s -= twoQ
+				}
+				x[j] = s
+				y[j] = mr.MulLazy(u+twoQ-v, w)
 			}
 			j1 += 2 * t
 		}
 		t <<= 1
 	}
-	for j := 0; j < n; j++ {
-		a[j] = mod.MulShoup(a[j], m.NInv, m.nInvShoup, q)
+	nInvM := m.nInvM
+	for j := range a {
+		a[j] = mr.Mul(a[j], nInvM)
 	}
 }
 

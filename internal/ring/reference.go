@@ -1,0 +1,134 @@
+package ring
+
+import "bts/internal/mod"
+
+// Barrett reference kernels.
+//
+// These are the pre-Montgomery implementations of the ring's multiplicative
+// hot paths, kept as the plain-form reference the Montgomery kernels are
+// measured and verified against: the bit-identity tests check that
+// IForm(kernel_M(MForm(x))) reproduces kernel_Barrett(x) exactly, and the
+// table2 bench reports the Montgomery speedup relative to these loops. They
+// operate on true-residue (non-Montgomery) polynomials and use per-multiply
+// Barrett reduction throughout; nothing on the serving path calls them.
+
+// refTables holds the plain-form twiddle tables the reference transforms
+// need, derived lazily from the Montgomery tables on first use so the memory
+// is only paid by tests and benchmarks.
+type refTables struct {
+	psiRev    []uint64
+	psiInvRev []uint64
+}
+
+func (m *Modulus) refTwiddles() *refTables {
+	m.refOnce.Do(func() {
+		rt := &refTables{
+			psiRev:    make([]uint64, len(m.psiRev)),
+			psiInvRev: make([]uint64, len(m.psiInvRev)),
+		}
+		for i := range m.psiRev {
+			rt.psiRev[i] = m.MRed.IForm(m.psiRev[i])
+			rt.psiInvRev[i] = m.MRed.IForm(m.psiInvRev[i])
+		}
+		m.ref = rt
+	})
+	return m.ref
+}
+
+// NTTBarrett is the Barrett-reduction reference forward transform on plain
+// (true-residue) rows [0..level] of p, fully reduced at every butterfly.
+func (r *Ring) NTTBarrett(p *Poly, level int) {
+	r.exec.Run(level+1, func(i int) {
+		m := r.Moduli[i]
+		rt := m.refTwiddles()
+		a := p.Coeffs[i]
+		n := r.N
+		q := m.Q
+		br := m.BRed
+		t := n
+		for mLen := 1; mLen < n; mLen <<= 1 {
+			t >>= 1
+			for g := 0; g < mLen; g++ {
+				w := rt.psiRev[mLen+g]
+				base := 2 * g * t
+				for j := base; j < base+t; j++ {
+					u := a[j]
+					v := br.Mul(a[j+t], w)
+					a[j] = mod.Add(u, v, q)
+					a[j+t] = mod.Sub(u, v, q)
+				}
+			}
+		}
+	})
+}
+
+// INTTBarrett is the Barrett-reduction reference inverse transform on plain
+// rows [0..level] of p.
+func (r *Ring) INTTBarrett(p *Poly, level int) {
+	r.exec.Run(level+1, func(i int) {
+		m := r.Moduli[i]
+		rt := m.refTwiddles()
+		a := p.Coeffs[i]
+		n := r.N
+		q := m.Q
+		br := m.BRed
+		t := 1
+		for mLen := n; mLen > 1; mLen >>= 1 {
+			j1 := 0
+			h := mLen >> 1
+			for g := 0; g < h; g++ {
+				w := rt.psiInvRev[h+g]
+				for j := j1; j < j1+t; j++ {
+					u := a[j]
+					v := a[j+t]
+					a[j] = mod.Add(u, v, q)
+					a[j+t] = br.Mul(mod.Sub(u, v, q), w)
+				}
+				j1 += 2 * t
+			}
+			t <<= 1
+		}
+		for j := 0; j < n; j++ {
+			a[j] = br.Mul(a[j], m.NInv)
+		}
+	})
+}
+
+// MulCoeffsBarrett is the Barrett reference for MulCoeffs on plain operands.
+func (r *Ring) MulCoeffsBarrett(a, b, out *Poly, level int) {
+	r.exec.RunBlocks(level+1, r.N, func(i, lo, hi int) {
+		br := r.Moduli[i].BRed
+		ra, rb, ro := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
+		for j := lo; j < hi; j++ {
+			ro[j] = br.Mul(ra[j], rb[j])
+		}
+	})
+}
+
+// MulCoeffsAndAddBarrett is the Barrett reference for MulCoeffsAndAdd on
+// plain operands.
+func (r *Ring) MulCoeffsAndAddBarrett(a, b, out *Poly, level int) {
+	r.exec.RunBlocks(level+1, r.N, func(i, lo, hi int) {
+		br := r.Moduli[i].BRed
+		q := r.Moduli[i].Q
+		ra, rb, ro := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
+		for j := lo; j < hi; j++ {
+			ro[j] = mod.Add(ro[j], br.Mul(ra[j], rb[j]), q)
+		}
+	})
+}
+
+// MulScalarBarrett is the Barrett+Shoup reference for MulScalar on plain
+// operands (the constant-multiply discipline the ring used before the
+// Montgomery refactor).
+func (r *Ring) MulScalarBarrett(a *Poly, s uint64, out *Poly, level int) {
+	r.exec.RunBlocks(level+1, r.N, func(i, lo, hi int) {
+		m := r.Moduli[i]
+		w := m.BRed.Reduce(s)
+		ws := mod.ShoupPrecomp(w, m.Q)
+		ra, ro := a.Coeffs[i], out.Coeffs[i]
+		for j := lo; j < hi; j++ {
+			ro[j] = mod.MulShoup(ra[j], w, ws, m.Q)
+		}
+	})
+}

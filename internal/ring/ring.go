@@ -8,6 +8,25 @@
 // residue-polynomial-wise functions (NTT, iNTT, automorphism), coefficient-wise
 // functions (base conversion), and element-wise functions (modular add/mult).
 //
+// # Montgomery-form invariant
+//
+// Every residue this package stores in a Poly is kept in Montgomery form
+// (M-form): the word held for a coefficient with true residue x is x·R mod q,
+// R = 2^64 (mod.Montgomery). All compute kernels preserve the invariant —
+// operand×operand multiplies (MulCoeffs, the Acc128 MAC path) REDC a product
+// of two M-form words straight back to M-form, constant multiplies (twiddle
+// factors, scalars, rescale and base-conversion tables) either carry M-form
+// tables or exploit that a plain-constant product (aR)·w ≡ (aw)R preserves
+// the operand's form, and Add/Sub/Neg/permutations are form-agnostic.
+// Conversions happen only at the boundaries: SetInt64Coeffs/SetBigCoeffs
+// convert in (MForm), PolyToBigCentered converts out (IForm), and the few
+// kernels that need a true integer internally — base-conversion stage 1,
+// whose centered digits cross moduli, and the rescale rounding lift — fold a
+// single REDC into the pass that needs it. Uniformly random rows
+// (SampleUniform) need no conversion at all: x ↦ x·R is a bijection on Z_q.
+// Serialization converts at the wire boundary, so encoded bytes carry true
+// canonical residues.
+//
 // All kernels dispatch through a two-dimensional execution engine (Engine,
 // see exec.go) that parallelizes across RNS limbs and, when the active limbs
 // alone cannot occupy every worker, across contiguous coefficient blocks
@@ -25,23 +44,31 @@ import (
 	"bts/internal/mod"
 )
 
-// Modulus bundles one RNS prime with every precomputed table needed for
-// negacyclic NTT, Shoup multiplication, and Barrett reduction.
+// Modulus bundles one RNS prime with every precomputed table needed for the
+// negacyclic NTT in Montgomery form, plus the Barrett constant kept for the
+// 128-bit accumulator reductions and true-residue scalar folds.
 type Modulus struct {
 	Q    uint64
-	BRed mod.Barrett
+	BRed mod.Barrett    // arbitrary 128-bit reduction (Acc128, BConv stage 2, scalar folds)
+	MRed mod.Montgomery // fused REDC multiply, the hot-path reduction
 
-	Psi    uint64 // primitive 2N-th root of unity
-	PsiInv uint64 // ψ^-1 mod q
-	NInv   uint64 // N^-1 mod q
+	Psi    uint64 // primitive 2N-th root of unity (true residue)
+	PsiInv uint64 // ψ^-1 mod q (true residue)
+	NInv   uint64 // N^-1 mod q (true residue)
 
-	// Twiddle tables in bit-reversed order (Longa–Naehrig layout):
-	// psiRev[i] = ψ^brv(i), psiInvRev[i] = ψ^-brv(i).
-	psiRev         []uint64
-	psiRevShoup    []uint64
-	psiInvRev      []uint64
-	psiInvRevShoup []uint64
-	nInvShoup      uint64
+	// Twiddle tables in bit-reversed order (Longa–Naehrig layout), stored in
+	// Montgomery form: psiRev[i] = [ψ^brv(i)]·R, psiInvRev[i] = [ψ^-brv(i)]·R.
+	// A REDC butterfly multiply by an M-form twiddle maps x ↦ x·ψ^e mod q in
+	// whichever form x is in, so the tables serve M-form operands without the
+	// Shoup companion word per twiddle the Barrett-era layout carried.
+	psiRev    []uint64
+	psiInvRev []uint64
+	nInvM     uint64 // N^-1 in Montgomery form, the iNTT scaling constant
+
+	// refOnce lazily builds the plain-form Barrett reference twiddles used
+	// only by the reference kernels (bit-identity tests, bench baselines).
+	refOnce sync.Once
+	ref     *refTables
 }
 
 // Ring is R_Q for a fixed degree N and a chain of prime moduli. CKKS uses two
@@ -140,27 +167,22 @@ func newModulus(q uint64, logN int, brv []int) (*Modulus, error) {
 	m := &Modulus{
 		Q:      q,
 		BRed:   mod.NewBarrett(q),
+		MRed:   mod.NewMontgomery(q),
 		Psi:    psi,
 		PsiInv: mod.Inv(psi, q),
 		NInv:   mod.Inv(uint64(n), q),
 	}
-	m.nInvShoup = mod.ShoupPrecomp(m.NInv, q)
+	m.nInvM = m.MRed.MForm(m.NInv)
 	m.psiRev = make([]uint64, n)
-	m.psiRevShoup = make([]uint64, n)
 	m.psiInvRev = make([]uint64, n)
-	m.psiInvRevShoup = make([]uint64, n)
 	powPsi := uint64(1)
 	powPsiInv := uint64(1)
 	for i := 0; i < n; i++ {
 		j := brv[i]
-		m.psiRev[j] = powPsi
-		m.psiInvRev[j] = powPsiInv
+		m.psiRev[j] = m.MRed.MForm(powPsi)
+		m.psiInvRev[j] = m.MRed.MForm(powPsiInv)
 		powPsi = m.BRed.Mul(powPsi, m.Psi)
 		powPsiInv = m.BRed.Mul(powPsiInv, m.PsiInv)
-	}
-	for i := 0; i < n; i++ {
-		m.psiRevShoup[i] = mod.ShoupPrecomp(m.psiRev[i], q)
-		m.psiInvRevShoup[i] = mod.ShoupPrecomp(m.psiInvRev[i], q)
 	}
 	return m, nil
 }
@@ -230,8 +252,8 @@ func (r *Ring) CopyNew(p *Poly, level int) *Poly {
 // Zero clears rows [0..level].
 func (r *Ring) Zero(p *Poly, level int) {
 	r.exec.RunBlocks(level+1, r.N, func(i, lo, hi int) {
-		row := p.Coeffs[i]
-		for j := lo; j < hi; j++ {
+		row := p.Coeffs[i][lo:hi:hi]
+		for j := range row {
 			row[j] = 0
 		}
 	})
@@ -267,7 +289,7 @@ func (r *Ring) PolyToBigCentered(p *Poly, level int) []*big.Int {
 	for j := 0; j < r.N; j++ {
 		acc := new(big.Int)
 		for i := 0; i <= level; i++ {
-			tmp.SetUint64(p.Coeffs[i][j])
+			tmp.SetUint64(r.Moduli[i].MRed.IForm(p.Coeffs[i][j]))
 			tmp.Mul(tmp, basis[i])
 			acc.Add(acc, tmp)
 		}
@@ -281,33 +303,68 @@ func (r *Ring) PolyToBigCentered(p *Poly, level int) []*big.Int {
 }
 
 // SetBigCoeffs writes centered (or any) big-integer coefficients into p's
-// rows [0..level], reducing each modulo the corresponding prime.
+// rows [0..level], reducing each modulo the corresponding prime and
+// converting into Montgomery form (the in-boundary of the M-form invariant).
 func (r *Ring) SetBigCoeffs(p *Poly, coeffs []*big.Int, level int) {
 	r.exec.RunBlocks(level+1, r.N, func(i, lo, hi int) {
 		tmp := new(big.Int)
+		mr := r.Moduli[i].MRed
 		qi := new(big.Int).SetUint64(r.Moduli[i].Q)
 		for j := lo; j < hi; j++ {
 			tmp.Mod(coeffs[j], qi)
-			p.Coeffs[i][j] = tmp.Uint64()
+			p.Coeffs[i][j] = mr.MForm(tmp.Uint64())
 		}
 	})
 }
 
-// SetInt64Coeffs writes signed 64-bit coefficients into rows [0..level].
+// SetInt64Coeffs writes signed 64-bit coefficients into rows [0..level] in
+// Montgomery form.
 func (r *Ring) SetInt64Coeffs(p *Poly, coeffs []int64, level int) {
 	r.exec.RunBlocks(level+1, r.N, func(i, lo, hi int) {
 		q := r.Moduli[i].Q
+		mr := r.Moduli[i].MRed
 		row := p.Coeffs[i]
 		for j := lo; j < hi; j++ {
 			c := coeffs[j]
+			var v uint64
 			if c >= 0 {
-				row[j] = uint64(c) % q
+				v = uint64(c) % q
 			} else {
-				row[j] = q - (uint64(-c) % q)
-				if row[j] == q {
-					row[j] = 0
+				v = q - (uint64(-c) % q)
+				if v == q {
+					v = 0
 				}
 			}
+			row[j] = mr.MForm(v)
+		}
+	})
+}
+
+// MForm converts rows [0..level] of a true-residue polynomial into Montgomery
+// form. Compute kernels assume their operands are already in M-form; this is
+// for the wire/test boundaries, where true canonical residues enter the ring.
+func (r *Ring) MForm(a, out *Poly, level int) {
+	r.exec.RunBlocks(level+1, r.N, func(i, lo, hi int) {
+		mr := r.Moduli[i].MRed
+		ra := a.Coeffs[i][lo:hi:hi]
+		ro := out.Coeffs[i][lo:hi:hi]
+		ro = ro[:len(ra)]
+		for j := range ra {
+			ro[j] = mr.MForm(ra[j])
+		}
+	})
+}
+
+// IForm converts rows [0..level] of a Montgomery-form polynomial back to true
+// canonical residues (the out-boundary of the M-form invariant).
+func (r *Ring) IForm(a, out *Poly, level int) {
+	r.exec.RunBlocks(level+1, r.N, func(i, lo, hi int) {
+		mr := r.Moduli[i].MRed
+		ra := a.Coeffs[i][lo:hi:hi]
+		ro := out.Coeffs[i][lo:hi:hi]
+		ro = ro[:len(ra)]
+		for j := range ra {
+			ro[j] = mr.IForm(ra[j])
 		}
 	})
 }

@@ -26,6 +26,13 @@
 // and compound objects nest polynomial bodies without repeating the
 // envelope. Integers and floats are little-endian; scales travel as IEEE-754
 // bit patterns, so round trips are bit-exact.
+//
+// In-memory polynomials hold their residues in Montgomery form (the ring
+// package's M-form invariant); the wire format does not. Encoding strips the
+// Montgomery factor from every residue and decoding restores it, so the
+// bytes always carry true canonical residues — the representation is an
+// implementation detail of this process, not of the protocol, and the
+// decoder's range validation stays meaningful.
 package wire
 
 import (
@@ -253,8 +260,9 @@ func appendPolyBody(buf *bytes.Buffer, r *ring.Ring, p *ring.Poly, level int) er
 	buf.Write(tmp[:])
 	for i := 0; i <= level; i++ {
 		row := p.Coeffs[i]
+		mr := r.Moduli[i].MRed
 		for j := 0; j < r.N; j++ {
-			binary.LittleEndian.PutUint64(tmp[:], row[j])
+			binary.LittleEndian.PutUint64(tmp[:], mr.IForm(row[j]))
 			buf.Write(tmp[:])
 		}
 	}
@@ -293,6 +301,7 @@ func readPolyBody(cu *cursor, r *ring.Ring, into *ring.Poly) (*ring.Poly, int, e
 	}
 	for i := 0; i <= level; i++ {
 		q := r.Moduli[i].Q
+		mr := r.Moduli[i].MRed
 		row := p.Coeffs[i]
 		src := cu.b[cu.off:]
 		for j := 0; j < r.N; j++ {
@@ -300,7 +309,7 @@ func readPolyBody(cu *cursor, r *ring.Ring, into *ring.Poly) (*ring.Poly, int, e
 			if v >= q {
 				return nil, 0, fmt.Errorf("wire: residue %d out of range for modulus %d (row %d)", v, q, i)
 			}
-			row[j] = v
+			row[j] = mr.MForm(v)
 		}
 		cu.off += r.N * 8
 	}
