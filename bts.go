@@ -100,6 +100,52 @@
 //     format, and `btsbench -experiment serve -clients K` is the matching
 //     load generator, reporting ops/sec and latency percentiles as JSON.
 //
+// # Observability
+//
+// The serving stack is instrumented end to end by internal/telemetry, a
+// dependency-free tracing and metrics layer whose hooks are nil-guarded
+// pointers: with telemetry detached every hook is a single nil check, so
+// the Table 2 kernel gate (`btsbench -experiment table2`) asserts the
+// instrumented kernel sweep stays within 2% of the plain one.
+//
+// Metrics. btsserve exposes Prometheus text-format 0.0.4 on GET /metrics
+// (and expvar JSON on /debug/vars) unless started with -metrics=false.
+// The exported families, by layer:
+//
+//   - ring.Engine / pools: bts_engine_runs_total, bts_engine_tasks_total,
+//     bts_engine_stolen_tasks_total, bts_engine_block_runs_total and the
+//     other dispatch-shape gauges; bts_pool_gets_total /
+//     bts_pool_misses_total {ring="q"|"qp", kind="poly"|...}.
+//   - wire codec: bts_wire_bytes_total / bts_wire_envelopes_total
+//     {dir="in"|"out"}.
+//   - scheduler: bts_jobs_total{result="ok"|"error"}, bts_batches_total,
+//     bts_batches_inflight, bts_batch_size, bts_linger_wait_seconds,
+//     bts_job_latency_seconds, bts_queue_depth, bts_sessions_open,
+//     bts_slow_jobs_total.
+//   - per-op: bts_op_latency_seconds{op, level} histograms keyed op kind ×
+//     ciphertext level.
+//   - per-session: bts_session_jobs_total, bts_session_errors_total,
+//     bts_session_queue_depth, bts_session_ops_total{session, kind} (the
+//     evaluator op mix: mult, full_rot, hoisted_rot, decompose, mod_down,
+//     rescale, pmult, mod_raise, key_switch), and bts_noise_floor_bits —
+//     the FHE-domain health signal, the running minimum over the session
+//     of noise margin = log2(q_0..q_level) − log2(scale): bits of modulus
+//     headroom above the working scale. A floor trending toward zero
+//     means results are about to drown in noise; a bootstrap restores it.
+//
+// Tracing. Started with -slow-job <d>, btsserve traces every job through
+// a lock-free span buffer (zero allocation on the hot path) and retains
+// the rendered span tree of any job slower than d on GET /v1/traces. The
+// span hierarchy is serve.job → serve.queue + op.<kind> →
+// ckks.<primitive> (keyswitch, mulrelin, rescale, decompose, ...) and,
+// under op.bootstrap, the four pipeline phases bootstrap.modraise /
+// coeff_to_slot / eval_mod / slot_to_coeff. Op spans carry the result
+// level and noise margin as attributes. `btsbench -experiment table2`
+// prints the same phase breakdown for the timed bootstrap, and
+// /v1/stats reports each session's op mix, latency-reservoir window and
+// noise floor alongside the existing percentiles. -pprof additionally
+// mounts net/http/pprof under /debug/pprof/.
+//
 // This package re-exports the stable entry points used by the examples and
 // command-line tools; the root-level benchmarks (bench_test.go) regenerate
 // the paper's evaluation via the same functions.

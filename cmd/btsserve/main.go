@@ -9,6 +9,24 @@
 //
 //	btsserve [-addr 127.0.0.1:8631] [-params toy|small|boot] [-workers N]
 //	         [-batch 8] [-batch-window 200us] [-queue 1024]
+//	         [-metrics] [-slow-job 0] [-pprof]
+//
+// Observability flags:
+//
+//	-metrics    serve Prometheus text on GET /metrics and expvar JSON on
+//	            GET /debug/vars (default true; -metrics=false opts out).
+//	            Exported series cover the execution engine (dispatches,
+//	            steal counts, RunBlocks shapes, pool hit/miss), the wire
+//	            codec (bytes/envelopes in and out), the scheduler (batch
+//	            sizes, linger waits, queue depth, job results), per-op
+//	            latency histograms keyed op kind × level, the per-session
+//	            op mix, and each session's running noise floor.
+//	-slow-job   latency threshold above which a job's full span tree —
+//	            HTTP submit → queue → per-op → evaluator internals →
+//	            bootstrap phases — is retained and served on GET
+//	            /v1/traces (0, the default, disables tracing).
+//	-pprof      mount net/http/pprof under /debug/pprof/ (off by default;
+//	            profiling endpoints on a serving port are opt-in).
 //
 // Parameter presets (all reduced-degree research instances, not
 // production-hardened lattice parameters):
@@ -77,6 +95,9 @@ func main() {
 	parallel := flag.Int("parallel", 4, "max batches in flight at once")
 	batchWindow := flag.Duration("batch-window", 200*time.Microsecond, "linger time to fill a batch")
 	queue := flag.Int("queue", 1024, "max queued jobs")
+	metrics := flag.Bool("metrics", true, "serve Prometheus text on /metrics and expvar on /debug/vars")
+	slowJob := flag.Duration("slow-job", 0, "trace jobs and retain span trees of jobs slower than this (0 = off)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	lit, boot, err := presetLiteral(*preset)
@@ -88,12 +109,15 @@ func main() {
 		log.Fatal(err)
 	}
 	cfg := serve.Config{
-		Params:      params,
-		Workers:     *workers,
-		BatchSize:   *batch,
-		Parallel:    *parallel,
-		BatchWindow: *batchWindow,
-		MaxQueue:    *queue,
+		Params:         params,
+		Workers:        *workers,
+		BatchSize:      *batch,
+		Parallel:       *parallel,
+		BatchWindow:    *batchWindow,
+		MaxQueue:       *queue,
+		DisableMetrics: !*metrics,
+		SlowJob:        *slowJob,
+		Pprof:          *pprofOn,
 	}
 	if boot {
 		bp := ckks.DefaultBootstrapParams()
@@ -109,6 +133,16 @@ func main() {
 	} else {
 		log.Printf("btsserve: preset %s (N=2^%d, L=%d, dnum=%d), batch=%d, window=%s, bootstrap=false",
 			*preset, params.LogN, params.MaxLevel(), params.Dnum, *batch, *batchWindow)
+	}
+
+	if *metrics {
+		log.Printf("btsserve: metrics on /metrics, expvar on /debug/vars")
+	}
+	if *slowJob > 0 {
+		log.Printf("btsserve: tracing jobs, retaining span trees over %s on /v1/traces", *slowJob)
+	}
+	if *pprofOn {
+		log.Printf("btsserve: pprof on /debug/pprof/")
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}

@@ -3,6 +3,8 @@ package ckks
 import (
 	"fmt"
 	"math"
+	"sync"
+	"time"
 
 	"bts/internal/ring"
 )
@@ -117,6 +119,63 @@ type Bootstrapper struct {
 	// scaleBoost is the exact power-of-two working-scale boost of the staged
 	// pipeline (1 on uniform chains; see bootScaleBoost).
 	scaleBoost float64
+
+	// Phase-timing accumulators (see LastPhases/PhaseTotals). Guarded by a
+	// mutex rather than atomics: one update per bootstrap, and a bootstrap is
+	// seconds of work.
+	phaseMu    sync.Mutex
+	lastPhases BootstrapPhases
+	cumPhases  BootstrapPhases
+	bootCount  int64
+}
+
+// BootstrapPhases is the wall-time breakdown of one bootstrap (or, from
+// PhaseTotals, a running sum) across the pipeline's four phases. EvalMod
+// covers everything between the transforms: conjugate split, normalization,
+// both Chebyshev sine evaluations, and recombination.
+type BootstrapPhases struct {
+	ModRaise    time.Duration
+	CoeffToSlot time.Duration
+	EvalMod     time.Duration
+	SlotToCoeff time.Duration
+}
+
+// Total returns the summed phase time.
+func (p BootstrapPhases) Total() time.Duration {
+	return p.ModRaise + p.CoeffToSlot + p.EvalMod + p.SlotToCoeff
+}
+
+func (p BootstrapPhases) add(q BootstrapPhases) BootstrapPhases {
+	return BootstrapPhases{
+		ModRaise:    p.ModRaise + q.ModRaise,
+		CoeffToSlot: p.CoeffToSlot + q.CoeffToSlot,
+		EvalMod:     p.EvalMod + q.EvalMod,
+		SlotToCoeff: p.SlotToCoeff + q.SlotToCoeff,
+	}
+}
+
+// LastPhases returns the phase breakdown of the most recent successful
+// bootstrap (zero value before the first). Safe for concurrent use.
+func (bt *Bootstrapper) LastPhases() BootstrapPhases {
+	bt.phaseMu.Lock()
+	defer bt.phaseMu.Unlock()
+	return bt.lastPhases
+}
+
+// PhaseTotals returns the cumulative phase breakdown and the number of
+// successful bootstraps it sums. Safe for concurrent use.
+func (bt *Bootstrapper) PhaseTotals() (BootstrapPhases, int64) {
+	bt.phaseMu.Lock()
+	defer bt.phaseMu.Unlock()
+	return bt.cumPhases, bt.bootCount
+}
+
+func (bt *Bootstrapper) recordPhases(p BootstrapPhases) {
+	bt.phaseMu.Lock()
+	bt.lastPhases = p
+	bt.cumPhases = bt.cumPhases.add(p)
+	bt.bootCount++
+	bt.phaseMu.Unlock()
 }
 
 // NewBootstrapper precomputes the staged CoeffToSlot/SlotToCoeff chains, the
@@ -347,14 +406,26 @@ func dedupRotations(lists ...[]int) []int {
 // slot-wise and therefore commute with that permutation, and the SlotToCoeff
 // chain consumes it — no repacking step exists anywhere.
 func (bt *Bootstrapper) Bootstrap(ct *Ciphertext) (*Ciphertext, error) {
+	return bt.BootstrapWith(bt.eval, ct)
+}
+
+// BootstrapWith is Bootstrap running on the given evaluator instead of the
+// one captured at construction — the serving runtime passes its job-private
+// traced evaluator here so the bootstrap's span tree lands in the job's
+// trace. ev must share the construction evaluator's context and keys (in
+// practice: be a WithTrace/WithNoiseFloor copy of it). Phase timings are
+// recorded on the bootstrapper either way (see LastPhases).
+func (bt *Bootstrapper) BootstrapWith(ev *Evaluator, ct *Ciphertext) (*Ciphertext, error) {
 	if ct.Level != 0 {
 		return nil, fmt.Errorf("ckks: Bootstrap expects a level-0 ciphertext, got level %d", ct.Level)
 	}
-	ev := bt.eval
+	var ph BootstrapPhases
+	t0 := time.Now()
 
 	// 1. ModRaise: re-interpret the mod-q0 residues over the whole chain;
 	// the plaintext becomes m + q0·I with small I (Section 2.4).
-	raised := bt.modRaise(ct)
+	sp := ev.begin(spanBootModRaise)
+	raised := bt.modRaise(ev, ct)
 	if !bt.useDense() && bt.scaleBoost > 1 {
 		// Raise the working scale to the bootstrap section's prime size: an
 		// exact, noise-free integer scalar multiply (no level consumed).
@@ -363,9 +434,13 @@ func (bt *Bootstrapper) Bootstrap(ct *Ciphertext) (*Ciphertext, error) {
 		// stage is encoded 1/boost low and sheds it (see bootScaleBoost).
 		raised = ev.MulConst(raised, 1, bt.scaleBoost)
 	}
+	ev.endSpan(&sp, raised)
+	ph.ModRaise = time.Since(t0)
+	t0 = time.Now()
 
 	// 2. CoeffToSlot: slots now hold (c_j + i·c_{j+n})/q0·(1/Δ-normalized),
 	// in bit-reversed slot order on the staged path.
+	sp = ev.begin(spanBootCoeffToSlot)
 	var ctv *Ciphertext
 	var stcLevel int
 	if bt.useDense() {
@@ -379,7 +454,11 @@ func (bt *Bootstrapper) Bootstrap(ct *Ciphertext) (*Ciphertext, error) {
 		}
 		stcLevel = bt.stcLevelStaged
 	}
+	ev.endSpan(&sp, ctv)
+	ph.CoeffToSlot = time.Since(t0)
+	t0 = time.Now()
 
+	sp = ev.begin(spanBootEvalMod)
 	// 3. Conjugate split into two real-valued ciphertexts holding 2·Re(v)
 	// and 2·Im(v); the factor 2 is folded into the normalization constant
 	// so that every Chebyshev basis element keeps scale ≈ Δ.
@@ -388,8 +467,8 @@ func (bt *Bootstrapper) Bootstrap(ct *Ciphertext) (*Ciphertext, error) {
 	ctI := ev.MulByI(ev.Sub(conj, ctv))
 
 	// 4. Normalize to the Chebyshev domain t = y/K (and divide by 2).
-	ctR = bt.normalize(ctR)
-	ctI = bt.normalize(ctI)
+	ctR = bt.normalize(ev, ctR)
+	ctI = bt.normalize(ev, ctI)
 
 	// 5. EvalMod: the scaled sine realizes y ↦ y mod 1 = m_j/q0 per slot.
 	sR, err := ev.EvalChebyshev(ctR, bt.sineCoeffs)
@@ -409,17 +488,30 @@ func (bt *Bootstrapper) Bootstrap(ct *Ciphertext) (*Ciphertext, error) {
 	if comb.Level > stcLevel {
 		comb.DropLevel(stcLevel)
 	}
+	ev.endSpan(&sp, comb)
+	ph.EvalMod = time.Since(t0)
+	t0 = time.Now()
 
 	// 7. SlotToCoeff back to the coefficient embedding.
+	sp = ev.begin(spanBootSlotToCoeff)
+	var out *Ciphertext
 	if bt.useDense() {
-		return ev.Rescale(ev.LinearTransform(comb, bt.stc)), nil
+		out = ev.Rescale(ev.LinearTransform(comb, bt.stc))
+	} else {
+		out, err = ev.TransformChain(comb, bt.stcChain)
+		if err != nil {
+			return nil, err
+		}
 	}
-	return ev.TransformChain(comb, bt.stcChain)
+	ev.endSpan(&sp, out)
+	ph.SlotToCoeff = time.Since(t0)
+	bt.recordPhases(ph)
+	return out, nil
 }
 
-func (bt *Bootstrapper) normalize(ct *Ciphertext) *Ciphertext {
+func (bt *Bootstrapper) normalize(ev *Evaluator, ct *Ciphertext) *Ciphertext {
 	q := float64(bt.ctx.Params.Q[ct.Level])
-	return bt.eval.Rescale(bt.eval.MulConst(ct, complex(1/(2*bt.bp.K), 0), q))
+	return ev.Rescale(ev.MulConst(ct, complex(1/(2*bt.bp.K), 0), q))
 }
 
 // modRaise lifts a level-0 ciphertext to the full modulus chain by centering
@@ -429,8 +521,8 @@ func (bt *Bootstrapper) normalize(ct *Ciphertext) *Ciphertext {
 // stage-sharded (INTTRow dispatches through the engine), the re-reduction
 // fans out limb × coefficient-block, and the forward NTT of all L+1 rows
 // goes through the ring's 2-D NTT dispatch.
-func (bt *Bootstrapper) modRaise(ct *Ciphertext) *Ciphertext {
-	bt.eval.counters.ModRaise.Add(1)
+func (bt *Bootstrapper) modRaise(ev *Evaluator, ct *Ciphertext) *Ciphertext {
+	ev.counters.ModRaise.Add(1)
 	rq := bt.ctx.RingQ
 	L := rq.MaxLevel()
 	out := bt.ctx.NewCiphertext(L, ct.Scale)

@@ -306,7 +306,7 @@ func TestModRaisePreservesMessage(t *testing.T) {
 	values := randomComplex(rng, s.params.Slots(), 0.7)
 	pt, _ := s.encoder.Encode(values, 0, s.params.Scale)
 	ct, _ := s.enc.EncryptNew(pt)
-	raised := bt.modRaise(ct)
+	raised := bt.modRaise(bt.eval, ct)
 	if raised.Level != s.params.MaxLevel() {
 		t.Fatalf("modRaise level=%d want %d", raised.Level, s.params.MaxLevel())
 	}

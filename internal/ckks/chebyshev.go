@@ -93,6 +93,7 @@ func (ev *Evaluator) EvalChebyshev(ct *Ciphertext, coeffs []float64) (*Ciphertex
 		out = ev.Rescale(out)
 		return ev.AddConst(out, complex(coeffs[0], 0)), nil
 	}
+	sp := ev.begin(spanChebyshev)
 	// Baby-step count: 2^ceil(m/2) for degree < 2^m.
 	m := bitsFor(degree + 1)
 	bs := 1 << ((m + 1) / 2)
@@ -105,7 +106,9 @@ func (ev *Evaluator) EvalChebyshev(ct *Ciphertext, coeffs []float64) (*Ciphertex
 	for g := 2 * bs; g <= degree; g *= 2 {
 		ev.chebPower(basis, g)
 	}
-	return ev.evalChebPS(coeffs, basis, bs), nil
+	out := ev.evalChebPS(coeffs, basis, bs)
+	ev.endSpan(&sp, out)
+	return out, nil
 }
 
 func bitsFor(v int) int {

@@ -6,6 +6,7 @@ import (
 
 	"bts/internal/mod"
 	"bts/internal/ring"
+	"bts/internal/telemetry"
 )
 
 // scaleTolerance is the maximum relative scale mismatch silently accepted by
@@ -23,7 +24,7 @@ const scaleTolerance = 1.0 / (1 << 8)
 // simply drop it for the garbage collector. An Evaluator is safe for
 // concurrent use by multiple goroutines (the serving runtime runs several
 // ciphertexts in flight through one evaluator); all scratch comes from
-// per-ring sync.Pools.
+// per-ring sync.Pools. The one exception is a traced copy — see WithTrace.
 type Evaluator struct {
 	ctx     *Context
 	encoder *Encoder
@@ -35,14 +36,27 @@ type Evaluator struct {
 	eagerTransforms bool
 
 	// counters tallies the op mix for the internal/sim calibration
-	// cross-check (see counters.go).
-	counters opCounters
+	// cross-check and the serving op-mix export (see counters.go). It is a
+	// pointer so WithTrace/WithNoiseFloor copies keep feeding one tally.
+	counters *opCounters
+
+	// noise, when non-nil, receives the margin of every scale-changing op's
+	// output (see noise.go). Shared across evaluator copies by pointer.
+	noise *NoiseFloor
+
+	// tr/cur carry per-job tracing state: tr is the trace spans record into
+	// (zero = tracing off) and cur the span ID nested spans parent under.
+	// Only WithTrace copies ever have an active tr, and only they mutate
+	// cur — which is why a traced evaluator is single-goroutine (see
+	// WithTrace) while the shared original stays concurrency-safe.
+	tr  telemetry.Trace
+	cur uint64
 }
 
 // NewEvaluator builds an evaluator. rlk may be nil if no multiplications are
 // relinearized; rtks may be nil if no rotations are performed.
 func NewEvaluator(ctx *Context, encoder *Encoder, rlk *SwitchingKey, rtks *RotationKeySet) *Evaluator {
-	return &Evaluator{ctx: ctx, encoder: encoder, rlk: rlk, rtks: rtks}
+	return &Evaluator{ctx: ctx, encoder: encoder, rlk: rlk, rtks: rtks, counters: new(opCounters)}
 }
 
 func (ev *Evaluator) params() Parameters { return ev.ctx.Params }
@@ -137,6 +151,7 @@ func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
 	out := ev.ctx.getCiphertextNoZero(lvl, ct.Scale*pt.Scale)
 	ev.ctx.RingQ.MulCoeffs(ct.C0, pt.Value, out.C0, lvl)
 	ev.ctx.RingQ.MulCoeffs(ct.C1, pt.Value, out.C1, lvl)
+	ev.observeMargin(out)
 	return out
 }
 
@@ -217,6 +232,7 @@ func (ev *Evaluator) MulConst(ct *Ciphertext, c complex128, constScale float64) 
 		rq.PutPoly(t1)
 		rq.PutPoly(t0)
 	}
+	ev.observeMargin(out)
 	return out
 }
 
@@ -238,6 +254,7 @@ func (ev *Evaluator) MulRelin(ct0, ct1 *Ciphertext) *Ciphertext {
 		panic("ckks: MulRelin without relinearization key")
 	}
 	ev.counters.Mult.Add(1)
+	sp := ev.begin(spanMulRelin)
 	rq := ev.ctx.RingQ
 	lvl := alignLevels(ct0, ct1)
 
@@ -260,6 +277,8 @@ func (ev *Evaluator) MulRelin(ct0, ct1 *Ciphertext) *Ciphertext {
 	rq.PutPoly(d2)
 	rq.PutPoly(d1)
 	rq.PutPoly(d0)
+	ev.observeMargin(out)
+	ev.endSpan(&sp, out)
 	return out
 }
 
@@ -273,6 +292,7 @@ func (ev *Evaluator) Rescale(ct *Ciphertext) *Ciphertext {
 		panic("ckks: cannot rescale a level-0 ciphertext")
 	}
 	ev.counters.Rescale.Add(1)
+	sp := ev.begin(spanRescale)
 	rq := ev.ctx.RingQ
 	out := ev.ctx.copyCiphertextPooled(ct)
 	q := float64(rq.Moduli[ct.Level].Q)
@@ -280,6 +300,8 @@ func (ev *Evaluator) Rescale(ct *Ciphertext) *Ciphertext {
 	rq.DivRoundByLastModulusNTT(out.C1, ct.Level)
 	out.Level = ct.Level - 1
 	out.Scale = ct.Scale / q
+	ev.observeMargin(out)
+	ev.endSpan(&sp, out)
 	return out
 }
 
@@ -301,6 +323,7 @@ func (ev *Evaluator) automorphism(ct *Ciphertext, g uint64) *Ciphertext {
 		return ev.ctx.copyCiphertextPooled(ct)
 	}
 	ev.counters.FullRot.Add(1)
+	sp := ev.begin(spanRotate)
 	swk := ev.rotationKey(g)
 	rq := ev.ctx.RingQ
 	lvl := ct.Level
@@ -318,6 +341,7 @@ func (ev *Evaluator) automorphism(ct *Ciphertext, g uint64) *Ciphertext {
 	rq.PutPoly(ks0)
 	rq.PutPoly(ra)
 	rq.PutPoly(rb)
+	ev.endSpan(&sp, out)
 	return out
 }
 
@@ -335,6 +359,8 @@ func (ev *Evaluator) automorphism(ct *Ciphertext, g uint64) *Ciphertext {
 // decomposeNTT (hoisting.go); the two paths perform the identical op
 // sequence per slice, so their outputs are bit-identical.
 func (ev *Evaluator) keySwitch(d *ring.Poly, lvl int, swk *SwitchingKey, ks0, ks1 *ring.Poly) {
+	sp := ev.begin(spanKeySwitch)
+	sp.SetLevel(lvl)
 	ctx := ev.ctx
 	rq, rp := ctx.RingQ, ctx.RingP
 	lp := rp.MaxLevel()
@@ -377,6 +403,7 @@ func (ev *Evaluator) keySwitch(d *ring.Poly, lvl int, swk *SwitchingKey, ks0, ks
 	rq.PutPoly(accQ1)
 	rq.PutPoly(accQ0)
 	rq.PutPoly(dCoeff)
+	ev.endSpan(&sp, nil)
 }
 
 // modUpSlice runs one decomposition slice of the Fig. 3(a) pipeline: the

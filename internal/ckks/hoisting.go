@@ -74,6 +74,8 @@ func (ev *Evaluator) DecomposeNTT(ct *Ciphertext) *HoistedDecomposition {
 // decomposeNTT is DecomposeNTT on a bare polynomial (NTT domain, level lvl).
 func (ev *Evaluator) decomposeNTT(d *ring.Poly, lvl int) *HoistedDecomposition {
 	ev.counters.Decompose.Add(1)
+	sp := ev.begin(spanDecompose)
+	sp.SetLevel(lvl)
 	ctx := ev.ctx
 	rq, rp := ctx.RingQ, ctx.RingP
 	lp := rp.MaxLevel()
@@ -104,6 +106,7 @@ func (ev *Evaluator) decomposeNTT(d *ring.Poly, lvl int) *HoistedDecomposition {
 		hd.p = append(hd.p, tmpP)
 	}
 	rq.PutPoly(dCoeff)
+	ev.endSpan(&sp, nil)
 	return hd
 }
 
@@ -236,6 +239,8 @@ func (ev *Evaluator) rotationKey(g uint64) *SwitchingKey {
 // duplicate amounts map to a single result. Outputs are pooled ciphertexts —
 // callers done with them may return each via Context.PutCiphertext.
 func (ev *Evaluator) RotateHoisted(ct *Ciphertext, rotations []int) map[int]*Ciphertext {
+	sp := ev.begin(spanHoistedRot)
+	defer ev.endSpan(&sp, nil)
 	rq := ev.ctx.RingQ
 	// Validate every key before borrowing any scratch, so a missing key
 	// panics without leaking pool objects.

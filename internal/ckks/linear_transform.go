@@ -212,6 +212,7 @@ func (ev *Evaluator) LinearTransform(ct *Ciphertext, lt *LinearTransform) *Ciphe
 	if ev.eagerTransforms || lt.diagsP == nil {
 		return ev.LinearTransformEager(ct, lt)
 	}
+	sp := ev.begin(spanLinear)
 	ctx := ev.ctx
 	rq, rp := ctx.RingQ, ctx.RingP
 	lvl := ct.Level
@@ -395,6 +396,7 @@ func (ev *Evaluator) LinearTransform(ct *Ciphertext, lt *LinearTransform) *Ciphe
 		rq.PutPoly(be.q0)
 		rq.PutPoly(be.c0)
 	}
+	ev.endSpan(&sp, out)
 	return out
 }
 

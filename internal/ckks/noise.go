@@ -1,0 +1,61 @@
+package ckks
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// NoiseMargin returns the ciphertext's modulus headroom in bits:
+// log2(q_0···q_level) − log2(scale). This is the budget CKKS actually spends —
+// each multiply doubles the scale and each rescale burns one prime — so the
+// margin falls monotonically along an op chain and a margin near zero means
+// decryption is about to wrap modulo Q (the ciphertext must be bootstrapped
+// or discarded). It is a deterministic scale-vs-modulus estimate, not a
+// measurement of the (much smaller) LWE error term.
+func (ctx *Context) NoiseMargin(ct *Ciphertext) float64 {
+	return ctx.cumLogQ[ct.Level] - math.Log2(ct.Scale)
+}
+
+// NoiseFloor tracks the minimum noise margin observed across a stream of
+// scale-changing ops (lock-free CAS-min over float bits). One floor is shared
+// by every evaluator copy observing into it, so a server can keep one floor
+// per session and read the worst headroom any of that session's jobs reached.
+// The zero value is unusable — construct with NewNoiseFloor.
+type NoiseFloor struct {
+	bits atomic.Uint64 // float64 bits of the running minimum
+}
+
+// NewNoiseFloor returns a floor initialized to +Inf (no observations).
+func NewNoiseFloor() *NoiseFloor {
+	nf := &NoiseFloor{}
+	nf.bits.Store(math.Float64bits(math.Inf(1)))
+	return nf
+}
+
+// Observe folds one margin into the running minimum.
+func (nf *NoiseFloor) Observe(margin float64) {
+	for {
+		old := nf.bits.Load()
+		if math.Float64frombits(old) <= margin {
+			return
+		}
+		if nf.bits.CompareAndSwap(old, math.Float64bits(margin)) {
+			return
+		}
+	}
+}
+
+// MinBits returns the minimum observed margin (+Inf when nothing has been
+// observed yet).
+func (nf *NoiseFloor) MinBits() float64 { return math.Float64frombits(nf.bits.Load()) }
+
+// Reset clears the floor back to +Inf.
+func (nf *NoiseFloor) Reset() { nf.bits.Store(math.Float64bits(math.Inf(1))) }
+
+// observeMargin feeds a scale-changing op's output into the evaluator's noise
+// floor, if one is attached (one nil check otherwise).
+func (ev *Evaluator) observeMargin(ct *Ciphertext) {
+	if nf := ev.noise; nf != nil {
+		nf.Observe(ev.ctx.NoiseMargin(ct))
+	}
+}

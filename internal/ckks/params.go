@@ -72,6 +72,7 @@ import (
 
 	"bts/internal/mod"
 	"bts/internal/ring"
+	"bts/internal/telemetry"
 )
 
 // Parameters fully determines a CKKS instance (the paper's Table 2 symbols).
@@ -238,6 +239,13 @@ type Context struct {
 
 	engine *ring.Engine
 
+	// stats, when non-nil, is the telemetry bundle the engine and both rings
+	// count into (see SetStats); kept so engine swaps reattach it.
+	stats *telemetry.ContextStats
+
+	// cumLogQ[l] = log2(q_0···q_l), precomputed for NoiseMargin (noise.go).
+	cumLogQ []float64
+
 	// ctPool recycles pooled ciphertexts (see GetCiphertext/PutCiphertext);
 	// their residue rows come from the q-ring's row pool, so DropLevel can
 	// hand now-unused rows straight back to the scratch allocator.
@@ -266,6 +274,12 @@ func NewContext(params Parameters) (*Context, error) {
 		modUpCache:   make(map[[2]int]*ring.BasisExtender),
 		modDownCache: make(map[int]*ring.BasisExtender),
 		engine:       ring.DefaultEngine(),
+	}
+	ctx.cumLogQ = make([]float64, len(params.Q))
+	logQ := 0.0
+	for i, q := range params.Q {
+		logQ += math.Log2(float64(q))
+		ctx.cumLogQ[i] = logQ
 	}
 	ctx.pModQ = make([]uint64, len(params.Q))
 	ctx.pInvModQ = make([]uint64, len(params.Q))
@@ -302,9 +316,43 @@ func (ctx *Context) SetWorkers(n int) {
 		be.SetEngine(ctx.engine)
 	}
 	ctx.cacheMu.Unlock()
+	ctx.attachStats()
 	if old != nil && old != ring.DefaultEngine() {
 		old.Close()
 	}
+}
+
+// SetStats attaches a telemetry bundle to the context: the execution engine
+// counts dispatch/steal activity into st.Engine and the two rings count
+// scratch-pool traffic into st.PoolQ/st.PoolP. nil detaches. If the context
+// is still on the process-wide shared engine, a private engine is installed
+// first (exactly as SetBlockSize does) so one server's counters never mix
+// with another context's work on the shared pool. Attachment survives later
+// SetWorkers/SetBlockSize calls; Close detaches the engine half (the shared
+// default engine is never instrumented) but keeps counting pool traffic.
+// Must not be called concurrently with homomorphic operations.
+func (ctx *Context) SetStats(st *telemetry.ContextStats) {
+	if st != nil && ctx.engine == ring.DefaultEngine() {
+		ctx.SetWorkers(runtime.GOMAXPROCS(0))
+	}
+	ctx.stats = st
+	ctx.attachStats()
+}
+
+// attachStats points the current engine and both rings at the context's stats
+// bundle (or detaches them when it is nil). The shared default engine is
+// never touched.
+func (ctx *Context) attachStats() {
+	var es *telemetry.EngineStats
+	var pq, pp *telemetry.PoolStats
+	if ctx.stats != nil {
+		es, pq, pp = &ctx.stats.Engine, &ctx.stats.PoolQ, &ctx.stats.PoolP
+	}
+	if ctx.engine != ring.DefaultEngine() {
+		ctx.engine.SetStats(es)
+	}
+	ctx.RingQ.SetPoolStats(pq)
+	ctx.RingP.SetPoolStats(pp)
 }
 
 // Workers reports the context's effective worker count (0 = serial).
@@ -348,6 +396,7 @@ func (ctx *Context) Close() {
 		be.SetEngine(ctx.engine)
 	}
 	ctx.cacheMu.Unlock()
+	ctx.attachStats()
 	old.Close()
 }
 

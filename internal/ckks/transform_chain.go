@@ -95,12 +95,14 @@ func (ev *Evaluator) TransformChain(ct *Ciphertext, tc *TransformChain) (*Cipher
 			return nil, fmt.Errorf("ckks: transform chain stage %d encoded at level %d, ciphertext at %d",
 				i, lt.Level, cur.Level)
 		}
+		sp := ev.begin(spanStage)
 		t := ev.LinearTransform(cur, lt)
 		if i > 0 {
 			ev.ctx.PutCiphertext(cur)
 		}
 		cur = ev.Rescale(t)
 		ev.ctx.PutCiphertext(t)
+		ev.endSpan(&sp, cur)
 	}
 	return cur, nil
 }

@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"bts/internal/telemetry"
 )
 
 // Engine is the two-dimensional execution engine of the software
@@ -31,6 +33,23 @@ type Engine struct {
 	blockSize int // minimum coefficient-block width; 0 = DefaultBlockSize
 	jobs      chan func()
 	close     sync.Once
+
+	// stats, when non-nil, receives dispatch counters (runs, tasks, steals,
+	// shard shapes). Every hook is behind this nil check, so a detached
+	// engine pays one predictable branch per dispatch — the compiled-out-
+	// cheap discipline that keeps kernel benchmarks honest.
+	stats *telemetry.EngineStats
+}
+
+// SetStats attaches a dispatch-counter sink to the engine (nil detaches).
+// Like SetBlockSize it must not be called concurrently with dispatch; attach
+// before serving traffic. The caller keeps ownership of st — typically a
+// serving process registers it with its metrics registry.
+func (e *Engine) SetStats(st *telemetry.EngineStats) {
+	if e == nil {
+		return
+	}
+	e.stats = st
 }
 
 // DefaultBlockSize is the minimum width (in coefficients) of a block handed
@@ -119,22 +138,43 @@ func (e *Engine) Close() {
 // nesting only ever waits downward.
 func (e *Engine) Run(n int, fn func(i int)) {
 	if e == nil || e.workers <= 1 || n <= 1 {
+		if e != nil && e.stats != nil && n > 0 {
+			e.stats.InlineRuns.Add(1)
+			e.stats.Tasks.Add(int64(n))
+		}
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
 		return
 	}
+	st := e.stats
+	if st != nil {
+		st.Runs.Add(1)
+		st.Tasks.Add(int64(n))
+	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(n)
 	pull := func() {
+		// Steal and occupancy accounting is batched per helper activation —
+		// one add on entry/exit, not per task — so the attached-stats cost
+		// stays off the per-index path.
+		if st != nil {
+			st.HelpersBusy.Add(1)
+		}
+		var stolen int64
 		for {
 			i := int(next.Add(1)) - 1
 			if i >= n {
-				return
+				break
 			}
 			fn(i)
 			wg.Done()
+			stolen++
+		}
+		if st != nil {
+			st.StolenTasks.Add(stolen)
+			st.HelpersBusy.Add(-1)
 		}
 	}
 	// Recruit up to min(workers, n-1) helpers; a stale helper that fires
@@ -222,6 +262,14 @@ func (e *Engine) blockCount(rows, n int) int {
 // configuration.
 func (e *Engine) RunBlocks(rows, n int, fn func(i, lo, hi int)) {
 	b := e.blockCount(rows, n)
+	if e != nil && e.stats != nil {
+		e.stats.BlockRuns.Add(1)
+		if b > 1 {
+			e.stats.ShardedRuns.Add(1)
+			e.stats.ShardLastRows.Store(int64(rows))
+			e.stats.ShardLastBlocks.Store(int64(b))
+		}
+	}
 	if b <= 1 {
 		e.Run(rows, func(i int) { fn(i, 0, n) })
 		return
@@ -288,12 +336,24 @@ func (r *Ring) ForEachLimbBlock(level int, fn func(i, lo, hi int)) {
 // pool of single residue rows; operations borrow with GetPoly/getRow and
 // return with PutPoly/putRow.
 
+// SetPoolStats attaches a scratch-pool counter sink to the ring (nil
+// detaches): every GetPoly/GetRow counts a borrow, and a borrow that found
+// the pool empty (allocating fresh memory) counts a miss. Attach before
+// serving traffic; must not race Get/Put calls.
+func (r *Ring) SetPoolStats(st *telemetry.PoolStats) { r.poolStats = st }
+
 // GetPoly borrows a polynomial usable up to the given level from the ring's
 // scratch pool. Rows 0..level are zeroed, so the result can serve directly as
 // an accumulator. The polynomial always carries len(r.Moduli) rows; callers
 // must only touch rows 0..level and must return it with PutPoly when done.
 func (r *Ring) GetPoly(level int) *Poly {
 	p, _ := r.polyPool.Get().(*Poly)
+	if st := r.poolStats; st != nil {
+		st.PolyGets.Add(1)
+		if p == nil {
+			st.PolyMisses.Add(1)
+		}
+	}
 	if p == nil {
 		return r.NewPoly(len(r.Moduli)) // fresh memory is already zero
 	}
@@ -306,10 +366,17 @@ func (r *Ring) GetPoly(level int) *Poly {
 // read (the common case — transforms, permutations, element-wise outputs);
 // reserve GetPoly for accumulators. Return with PutPoly.
 func (r *Ring) GetPolyNoZero() *Poly {
-	if p, _ := r.polyPool.Get().(*Poly); p != nil {
-		return p
+	p, _ := r.polyPool.Get().(*Poly)
+	if st := r.poolStats; st != nil {
+		st.PolyGets.Add(1)
+		if p == nil {
+			st.PolyMisses.Add(1)
+		}
 	}
-	return r.NewPoly(len(r.Moduli))
+	if p == nil {
+		return r.NewPoly(len(r.Moduli))
+	}
+	return p
 }
 
 // PutPoly returns a polynomial borrowed with GetPoly to the pool. The caller
@@ -329,7 +396,14 @@ func (r *Ring) PutPoly(p *Poly) {
 // GetRow borrows one length-N coefficient row (contents undefined) from the
 // ring's row pool. Return it with PutRow.
 func (r *Ring) GetRow() []uint64 {
-	if v, _ := r.rowPool.Get().(*[]uint64); v != nil {
+	v, _ := r.rowPool.Get().(*[]uint64)
+	if st := r.poolStats; st != nil {
+		st.RowGets.Add(1)
+		if v == nil {
+			st.RowMisses.Add(1)
+		}
+	}
+	if v != nil {
 		return *v
 	}
 	return make([]uint64, r.N)

@@ -42,6 +42,7 @@ import (
 	"sync"
 
 	"bts/internal/mod"
+	"bts/internal/telemetry"
 )
 
 // Modulus bundles one RNS prime with every precomputed table needed for the
@@ -104,6 +105,10 @@ type Ring struct {
 	polyPool sync.Pool
 	rowPool  sync.Pool
 	accPool  sync.Pool
+
+	// poolStats, when non-nil, counts scratch-pool traffic (hit/miss); every
+	// hook is nil-guarded, see SetPoolStats.
+	poolStats *telemetry.PoolStats
 }
 
 // NewRing constructs a ring of degree N=2^logN over the given prime chain.

@@ -5,10 +5,12 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
 	"io"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"bts/internal/ckks"
@@ -29,6 +31,12 @@ import (
 //	                          envelopes; the response body is the result
 //	                          ciphertext envelope
 //	GET  /v1/stats            per-session serving statistics (JSON)
+//	GET  /v1/traces           retained slow-job trace dumps, newest first
+//	                          (JSON; only with Config.SlowJob set)
+//	GET  /metrics             Prometheus text exposition (unless
+//	                          Config.DisableMetrics)
+//	GET  /debug/vars          expvar JSON (unless Config.DisableMetrics)
+//	GET  /debug/pprof/...     net/http/pprof (only with Config.Pprof)
 const (
 	// maxJobHeaderBytes bounds the length-prefixed JSON program block of a
 	// job request.
@@ -70,7 +78,34 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/sessions", s.handleSessions)
 	mux.HandleFunc("/v1/jobs", s.handleJobs)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	if s.tel != nil {
+		if s.tel.reg != nil {
+			mux.Handle("/metrics", s.tel.reg.Handler())
+			mux.Handle("/debug/vars", expvar.Handler())
+		}
+		if s.tel.tracer != nil {
+			mux.HandleFunc("/v1/traces", s.handleTraces)
+		}
+	}
+	if s.cfg.Pprof {
+		// Mount the handlers explicitly instead of relying on the package's
+		// DefaultServeMux side effect, so profiling is exposed only when
+		// asked for.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: %s not allowed", r.Method))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.SlowJobDumps())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -2,8 +2,10 @@ package serve
 
 import (
 	"fmt"
+	"time"
 
 	"bts/internal/ckks"
+	"bts/internal/telemetry"
 )
 
 // OpKind names a primitive HE operation a job may request — the op set of
@@ -98,12 +100,19 @@ func validateOps(ops []Op, inputs, maxOps int) error {
 	return nil
 }
 
-// run interprets the job program. Evaluator primitives panic on programmer
-// error (missing keys, scale mismatch, rescale at level 0); a job must never
-// take the server down, so the interpreter converts panics into job errors.
-// Intermediate results are returned to the context's ciphertext pool; the
-// final result is handed to the caller (pooled).
-func (j *job) run(ctx *ckks.Context) (result *ckks.Ciphertext, err error) {
+// run interprets the job program on the given evaluator (the session's
+// shared evaluator, or a job-private traced copy — see runBatch). Evaluator
+// primitives panic on programmer error (missing keys, scale mismatch,
+// rescale at level 0); a job must never take the server down, so the
+// interpreter converts panics into job errors. Intermediate results are
+// returned to the context's ciphertext pool; the final result is handed to
+// the caller (pooled).
+//
+// Each executed op is bracketed by an "op.<kind>" span (when the job is
+// traced) carrying the result's level and noise margin, and by a latency
+// observation into the per-(kind, level) histogram (when metrics are on).
+func (j *job) run(s *Server, ev *ckks.Evaluator) (result *ckks.Ciphertext, err error) {
+	ctx := s.ctx
 	slots := make([]*ckks.Ciphertext, len(j.inputs), len(j.inputs)+len(j.ops))
 	copy(slots, j.inputs)
 	defer func() {
@@ -119,9 +128,19 @@ func (j *job) run(ctx *ckks.Context) (result *ckks.Ciphertext, err error) {
 			}
 		}
 	}()
-	ev := j.sess.eval
 	for i, op := range j.ops {
-		var out *ckks.Ciphertext
+		var (
+			out   *ckks.Ciphertext
+			sp    telemetry.Span
+			start time.Time
+		)
+		if s.tel != nil {
+			start = time.Now()
+		}
+		if j.tr.Active() {
+			sp = j.tr.Span(opSpanNames[op.Kind], j.root.ID())
+			ev.SetTraceParent(sp.ID())
+		}
 		switch op.Kind {
 		case OpAdd:
 			out = ev.Add(slots[op.A], slots[op.B])
@@ -150,11 +169,22 @@ func (j *job) run(ctx *ckks.Context) (result *ckks.Ciphertext, err error) {
 			if j.sess.bt == nil {
 				return nil, fmt.Errorf("serve: op %d: session %q has no bootstrapper (disabled or rotation keys missing)", i, j.sess.name)
 			}
+			// BootstrapWith runs the pipeline on this job's evaluator, so a
+			// traced job records the phase spans under its own op span.
 			var berr error
-			out, berr = j.sess.bt.Bootstrap(slots[op.A])
+			out, berr = j.sess.bt.BootstrapWith(ev, slots[op.A])
 			if berr != nil {
 				return nil, fmt.Errorf("serve: op %d: bootstrap: %w", i, berr)
 			}
+		}
+		if sp.Recording() {
+			ev.SetTraceParent(j.root.ID())
+			sp.SetLevel(out.Level)
+			sp.SetMarginBits(ctx.NoiseMargin(out))
+			sp.End()
+		}
+		if s.tel != nil {
+			s.tel.observeOp(op.Kind, out.Level, time.Since(start))
 		}
 		slots = append(slots, out)
 	}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"bts/internal/ckks"
+	"bts/internal/telemetry"
 )
 
 // job is one queued unit of work: a program over input ciphertexts bound to
@@ -15,6 +16,13 @@ type job struct {
 	inputs   []*ckks.Ciphertext
 	enqueued time.Time
 	done     chan jobResult
+
+	// tr is the job's trace (inert zero value unless the server traces
+	// jobs); root spans submit-to-completion and parents every op span,
+	// queue spans submit-to-dispatch.
+	tr    telemetry.Trace
+	root  telemetry.Span
+	queue telemetry.Span
 }
 
 type jobResult struct {
@@ -146,6 +154,16 @@ func (s *Server) takeBatchLocked(now time.Time) ([]*job, time.Duration) {
 	if take == nil {
 		return nil, wait
 	}
+	// How long the winning session's batch actually lingered: its deadline
+	// was set window-length ahead of the first look, so the elapsed linger is
+	// the window minus what remains. A batch dispatched on first sight (full,
+	// or lingering disabled) lingered for zero.
+	lingered := time.Duration(0)
+	if dl, ok := s.linger[take]; ok {
+		if lingered = s.cfg.BatchWindow - dl.Sub(now); lingered < 0 {
+			lingered = 0
+		}
+	}
 	delete(s.linger, take)
 	size := counts[take]
 	if size > s.cfg.BatchSize {
@@ -166,19 +184,50 @@ func (s *Server) takeBatchLocked(now time.Time) ([]*job, time.Duration) {
 	}
 	s.pending = rest
 	take.stats.batchFormed(len(batch))
+	if ts := s.tel; ts != nil {
+		ts.batchSize.Observe(float64(len(batch)))
+		ts.lingerWait.Observe(lingered.Seconds())
+	}
 	return batch, 0
 }
 
 // runBatch executes every job of a batch concurrently and replies on each
-// job's done channel.
+// job's done channel. A traced job runs on a job-private evaluator copy
+// carrying the trace (evaluator spans nest under the job's op spans); an
+// untraced job runs on the session's shared evaluator, allocating nothing.
 func (s *Server) runBatch(batch []*job) {
+	if ts := s.tel; ts != nil {
+		ts.batchesRun.Add(1)
+		ts.batchesInflight.Add(1)
+		defer ts.batchesInflight.Add(-1)
+	}
 	var wg sync.WaitGroup
 	for _, j := range batch {
 		wg.Add(1)
 		go func(j *job) {
 			defer wg.Done()
-			ct, err := j.run(s.ctx)
-			j.sess.stats.completed(time.Since(j.enqueued), len(j.ops), err)
+			ev := j.sess.eval
+			if j.tr.Active() {
+				j.queue.End()
+				ev = ev.WithTrace(j.tr, j.root.ID())
+			}
+			ct, err := j.run(s, ev)
+			lat := time.Since(j.enqueued)
+			if ts := s.tel; ts != nil {
+				ts.jobLatency.Observe(lat.Seconds())
+				if err != nil {
+					ts.jobsErr.Add(1)
+				} else {
+					ts.jobsOK.Add(1)
+				}
+			}
+			if j.tr.Active() {
+				j.root.End()
+				if s.cfg.SlowJob > 0 && lat >= s.cfg.SlowJob {
+					s.tel.retainSlowDump(j, lat)
+				}
+			}
+			j.sess.stats.completed(lat, len(j.ops), err)
 			j.done <- jobResult{ct: ct, err: err}
 		}(j)
 	}

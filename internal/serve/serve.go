@@ -67,6 +67,26 @@ type Config struct {
 	// rotation keys cover the required rotations, enabling the "bootstrap"
 	// op. The parameter chain must afford BootstrapParams.MinLevels().
 	Bootstrap *ckks.BootstrapParams
+
+	// DisableMetrics turns off the Prometheus registry (GET /metrics and
+	// /debug/vars disappear from the handler) and detaches the engine, pool,
+	// and wire counters. The zero value keeps metrics on: the counters are
+	// atomic adds next to millisecond-scale FHE ops, so serving pays nothing
+	// measurable for them.
+	DisableMetrics bool
+	// SlowJob, when positive, traces every job and retains the reconstructed
+	// span tree of any job whose submit-to-completion latency meets the
+	// threshold (GET /v1/traces, newest first). Zero disables tracing: the
+	// instrumented paths then reduce to nil checks.
+	SlowJob time.Duration
+	// TraceBuffer overrides the tracer's span ring capacity (rounded up to a
+	// power of two; 0 selects telemetry.DefaultTraceCapacity). Only
+	// meaningful with SlowJob set.
+	TraceBuffer int
+	// Pprof mounts the net/http/pprof handlers under /debug/pprof/ on the
+	// server's HTTP API. Off by default: profiling endpoints on a serving
+	// port are opt-in.
+	Pprof bool
 }
 
 func (cfg *Config) applyDefaults() {
@@ -98,6 +118,11 @@ type Server struct {
 	codec   *wire.Codec // pooled: decoded ciphertexts recycle through the ctx pool
 	encoder *ckks.Encoder
 	started time.Time
+
+	// tel is the observability bundle (metrics registry, counters, job
+	// tracer); nil when both metrics and tracing are disabled, and every
+	// instrumentation site nil-checks it.
+	tel *telemetryState
 
 	// bootRotations caches the rotation set bootstrapping needs (probed once
 	// with a keyless evaluator), so /v1/params can tell clients what keys to
@@ -147,6 +172,17 @@ func New(cfg Config) (*Server, error) {
 		dispatcherDone: make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	if !cfg.DisableMetrics || cfg.SlowJob > 0 {
+		s.tel = newTelemetryState(&s.cfg)
+		if s.tel.reg != nil {
+			// SetStats instruments a context-private engine (installing one if
+			// the context still shares ring.DefaultEngine), so scrapes never
+			// see other tenants of the process-wide pool.
+			ctx.SetStats(&s.tel.ctxStats)
+			s.codec.SetStats(&s.tel.wire)
+			s.registerCollectors()
+		}
+	}
 	if cfg.Bootstrap != nil {
 		// Probe the rotation requirements with a keyless evaluator; sessions
 		// whose key sets cover them get a working bootstrapper.
@@ -189,8 +225,15 @@ func (s *Server) OpenSession(name string, rlk *ckks.SwitchingKey, rtks *ckks.Rot
 		eval:    eval,
 		created: time.Now(),
 	}
+	if s.tel != nil {
+		// Attach the session's running noise floor once, at open time, so
+		// steady-state jobs keep allocating nothing: evaluator copies share
+		// the floor (and the op counters) by pointer.
+		sess.noise = ckks.NewNoiseFloor()
+		sess.eval = eval.WithNoiseFloor(sess.noise)
+	}
 	if s.cfg.Bootstrap != nil && rlk != nil && rtks != nil && coversRotations(s.ctx, rtks, s.bootRotations) {
-		bt, err := ckks.NewBootstrapper(s.ctx, s.encoder, eval, *s.cfg.Bootstrap)
+		bt, err := ckks.NewBootstrapper(s.ctx, s.encoder, sess.eval, *s.cfg.Bootstrap)
 		if err != nil {
 			return fmt.Errorf("serve: building bootstrapper for session %q: %w", name, err)
 		}
@@ -257,6 +300,15 @@ func (s *Server) Submit(sessionName string, ops []Op, inputs []*ckks.Ciphertext)
 		inputs:   inputs,
 		enqueued: time.Now(),
 		done:     make(chan jobResult, 1),
+	}
+	if s.tel != nil && s.tel.tracer != nil {
+		// Every job gets a trace when a slow-job threshold is set; the spans
+		// live in the tracer's fixed ring, so tracing a fast job costs atomic
+		// stores, not retention. The root span covers submit-to-completion,
+		// the queue span submit-to-dispatch.
+		j.tr = s.tel.tracer.NewTrace()
+		j.root = j.tr.Span(spanJob, 0)
+		j.queue = j.tr.Span(spanQueue, j.root.ID())
 	}
 	s.mu.Lock()
 	if s.closed {

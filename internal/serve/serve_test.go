@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math/rand"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -478,7 +479,10 @@ func TestBootstrapJob(t *testing.T) {
 		t.Fatal(err)
 	}
 	bp := ckks.DefaultBootstrapParams()
-	srv, err := New(Config{Params: params, Bootstrap: &bp})
+	// A nanosecond slow-job threshold makes every job "slow", so the test
+	// also covers the acceptance path: the retained dump of a bootstrap job
+	// must show the full span tree down to the bootstrap phases.
+	srv, err := New(Config{Params: params, Bootstrap: &bp, SlowJob: time.Nanosecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -523,6 +527,27 @@ func TestBootstrapJob(t *testing.T) {
 		if d > 1e-2 || d < -1e-2 {
 			t.Fatalf("slot %d: got %g want %g", i, real(got[i]), real(want[i]))
 		}
+	}
+
+	// The slow-job dump of the bootstrap job must reconstruct the whole
+	// hierarchy: op.bootstrap under serve.job, the four bootstrap phases
+	// under the op, evaluator primitives under the phases.
+	dumps := srv.SlowJobDumps()
+	if len(dumps) == 0 {
+		t.Fatal("no slow-job dump retained for the bootstrap job")
+	}
+	tree := dumps[0].Tree
+	for _, span := range []string{
+		"serve.job", "op.bootstrap",
+		"bootstrap.modraise", "bootstrap.coeff_to_slot", "bootstrap.eval_mod", "bootstrap.slot_to_coeff",
+		"ckks.keyswitch",
+	} {
+		if !strings.Contains(tree, span) {
+			t.Fatalf("bootstrap dump missing %s:\n%s", span, tree)
+		}
+	}
+	if !strings.Contains(tree, "\n    bootstrap.eval_mod") {
+		t.Fatalf("bootstrap phases not nested under the op span:\n%s", tree)
 	}
 }
 

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"errors"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -12,17 +13,24 @@ import (
 var errServerClosed = errors.New("serve: server closed")
 
 // session is one tenant: a name, the evaluator built from the tenant's
-// uploaded evaluation keys, an optional bootstrapper, and statistics.
+// uploaded evaluation keys, an optional bootstrapper, a running noise floor
+// (when telemetry is on), and statistics.
 type session struct {
 	name    string
 	eval    *ckks.Evaluator
 	bt      *ckks.Bootstrapper
+	noise   *ckks.NoiseFloor // nil when telemetry is disabled
 	created time.Time
 	stats   sessionStats
 }
 
-// latSamples is the size of the per-session latency reservoir (the last
-// latSamples job latencies back the reported percentiles).
+// latSamples is the size of the per-session latency reservoir: a ring buffer
+// of the most recent latSamples job latencies. Until the buffer wraps
+// (latN < latSamples) percentiles cover every job ever completed; after
+// wrapping they cover a sliding window of the last latSamples jobs, so a
+// long-lived session reports recent behavior, not its lifetime average. The
+// snapshot exposes both the window capacity (lat_window) and how many
+// samples currently back the percentiles (lat_samples).
 const latSamples = 4096
 
 // sessionStats tracks per-tenant serving statistics. queueDepth counts jobs
@@ -75,21 +83,58 @@ func (st *sessionStats) completed(latency time.Duration, ops int, err error) {
 }
 
 // SessionStats is the JSON snapshot of one session's counters. Latency
-// percentiles cover the most recent jobs (up to the reservoir size) and are
-// measured submit-to-completion, so they include queueing delay.
+// percentiles cover the most recent jobs — LatSamples of them, within a
+// sliding window of capacity LatWindow — and are measured
+// submit-to-completion, so they include queueing delay. OpMix is the
+// evaluator's primitive-op tally (the same counters /metrics exports as
+// bts_session_ops_total); NoiseFloorBits is the minimum noise margin
+// observed on the session, omitted until a job has run (or when telemetry
+// is disabled).
 type SessionStats struct {
-	Session        string  `json:"session"`
-	Jobs           uint64  `json:"jobs"`
-	Ops            uint64  `json:"ops"`
-	Errors         uint64  `json:"errors"`
-	QueueDepth     int     `json:"queue_depth"`
-	Batches        uint64  `json:"batches"`
-	MaxBatch       int     `json:"max_batch"`
-	Bootstrappable bool    `json:"bootstrappable"`
-	P50Ms          float64 `json:"p50_ms"`
-	P90Ms          float64 `json:"p90_ms"`
-	P99Ms          float64 `json:"p99_ms"`
-	MaxMs          float64 `json:"max_ms"`
+	Session        string   `json:"session"`
+	Jobs           uint64   `json:"jobs"`
+	Ops            uint64   `json:"ops"`
+	Errors         uint64   `json:"errors"`
+	QueueDepth     int      `json:"queue_depth"`
+	Batches        uint64   `json:"batches"`
+	MaxBatch       int      `json:"max_batch"`
+	Bootstrappable bool     `json:"bootstrappable"`
+	LatWindow      int      `json:"lat_window"`
+	LatSamples     int      `json:"lat_samples"`
+	P50Ms          float64  `json:"p50_ms"`
+	P90Ms          float64  `json:"p90_ms"`
+	P99Ms          float64  `json:"p99_ms"`
+	MaxMs          float64  `json:"max_ms"`
+	OpMix          OpMix    `json:"op_mix"`
+	NoiseFloorBits *float64 `json:"noise_floor_bits,omitempty"`
+}
+
+// OpMix is the session evaluator's measured primitive-op mix
+// (ckks.OpCounters) plus the derived evk-consuming total.
+type OpMix struct {
+	Mult           int64 `json:"mult"`
+	FullRot        int64 `json:"full_rot"`
+	HoistedRot     int64 `json:"hoisted_rot"`
+	Decompose      int64 `json:"decompose"`
+	ModDown        int64 `json:"mod_down"`
+	Rescale        int64 `json:"rescale"`
+	PMult          int64 `json:"pmult"`
+	ModRaise       int64 `json:"mod_raise"`
+	KeySwitchTotal int64 `json:"key_switch_total"`
+}
+
+func opMixOf(c ckks.OpCounters) OpMix {
+	return OpMix{
+		Mult:           c.Mult,
+		FullRot:        c.FullRot,
+		HoistedRot:     c.HoistedRot,
+		Decompose:      c.Decompose,
+		ModDown:        c.ModDown,
+		Rescale:        c.Rescale,
+		PMult:          c.PMult,
+		ModRaise:       c.ModRaise,
+		KeySwitchTotal: c.KeySwitchTotal(),
+	}
 }
 
 // Stats is the JSON snapshot of the whole server.
@@ -112,13 +157,25 @@ func (sess *session) snapshot() SessionStats {
 		Batches:        st.batches,
 		MaxBatch:       st.maxBatch,
 		Bootstrappable: sess.bt != nil,
+		LatWindow:      latSamples,
 	}
-	n := int(st.latN)
-	if n > latSamples {
-		n = latSamples
+	// Clamp on the uint64 side: converting latN to int first would go
+	// negative once the counter passes the int range (and on 32-bit hosts a
+	// wrapped buffer already overflows int32), slicing st.lat out of bounds.
+	n := latSamples
+	if st.latN < latSamples {
+		n = int(st.latN)
 	}
+	out.LatSamples = n
 	samples := append([]float64(nil), st.lat[:n]...)
 	st.mu.Unlock()
+
+	out.OpMix = opMixOf(sess.eval.Counters())
+	if sess.noise != nil {
+		if bits := sess.noise.MinBits(); !math.IsInf(bits, 1) {
+			out.NoiseFloorBits = &bits
+		}
+	}
 
 	if len(samples) > 0 {
 		sort.Float64s(samples)

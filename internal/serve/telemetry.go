@@ -1,0 +1,278 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bts/internal/telemetry"
+)
+
+// Span names of the serving layer. The per-job span tree is rooted at
+// "serve.job" (submit to completion); "serve.queue" covers submit to
+// dispatch; each executed op gets an "op.<kind>" span under the root, and the
+// evaluator's own spans (ckks.*, bootstrap.*) nest under the op that ran
+// them.
+var (
+	spanJob   = telemetry.Name("serve.job")
+	spanQueue = telemetry.Name("serve.queue")
+
+	opSpanNames = map[OpKind]uint32{
+		OpAdd:           telemetry.Name("op.add"),
+		OpSub:           telemetry.Name("op.sub"),
+		OpMul:           telemetry.Name("op.mul"),
+		OpRotate:        telemetry.Name("op.rot"),
+		OpRotateHoisted: telemetry.Name("op.roth"),
+		OpConjugate:     telemetry.Name("op.conj"),
+		OpRescale:       telemetry.Name("op.rescale"),
+		OpBootstrap:     telemetry.Name("op.bootstrap"),
+	}
+)
+
+// maxRetainedDumps bounds the slow-job trace dumps the server keeps (newest
+// first); older dumps fall off.
+const maxRetainedDumps = 16
+
+// telemetryState is the server's observability bundle: the metrics registry
+// and every counter the scheduler and job runner bump, plus the job tracer
+// and its retained slow-job dumps. It exists (s.tel != nil) whenever metrics
+// or tracing is enabled; reg is nil when metrics are disabled, tracer is nil
+// when no slow-job threshold is set.
+type telemetryState struct {
+	reg    *telemetry.Registry
+	tracer *telemetry.Tracer
+
+	// ctxStats and wire are handed to ckks.Context.SetStats and
+	// wire.Codec.SetStats; the layers below bump them through nil-guarded
+	// pointers.
+	ctxStats telemetry.ContextStats
+	wire     telemetry.WireStats
+
+	jobsOK, jobsErr atomic.Int64
+	batchesRun      atomic.Int64
+	batchesInflight atomic.Int64
+	slowJobs        atomic.Int64
+
+	batchSize  *telemetry.Histogram // jobs per dispatched batch
+	lingerWait *telemetry.Histogram // seconds undersized batches lingered
+	jobLatency *telemetry.Histogram // submit-to-completion seconds
+
+	// opLat holds one latency histogram per (op kind, result level) pair,
+	// created on first observation. The map is tiny (kinds × levels) and
+	// mutex cost is noise next to the millisecond-scale FHE ops it brackets.
+	opMu  sync.Mutex
+	opLat map[opLatKey]*telemetry.Histogram
+
+	dumpMu sync.Mutex
+	dumps  []SlowJobDump
+}
+
+type opLatKey struct {
+	kind  OpKind
+	level int
+}
+
+// SlowJobDump is one retained slow-job trace: the job's identity and its
+// reconstructed span tree (telemetry.Tracer.RenderTree), served by
+// GET /v1/traces.
+type SlowJobDump struct {
+	Session   string  `json:"session"`
+	Ops       int     `json:"ops"`
+	LatencyMs float64 `json:"latency_ms"`
+	Tree      string  `json:"tree"`
+}
+
+func newTelemetryState(cfg *Config) *telemetryState {
+	ts := &telemetryState{
+		batchSize: telemetry.NewHistogram(telemetry.LinearBuckets(1, 1, 16)),
+		lingerWait: telemetry.NewHistogram([]float64{
+			50e-6, 100e-6, 250e-6, 500e-6, 1e-3, 2.5e-3, 5e-3, 10e-3, 50e-3, 100e-3,
+		}),
+		jobLatency: telemetry.NewHistogram(telemetry.LatencyBuckets()),
+		opLat:      make(map[opLatKey]*telemetry.Histogram),
+	}
+	if cfg.SlowJob > 0 {
+		ts.tracer = telemetry.NewTracer(cfg.TraceBuffer)
+	}
+	if !cfg.DisableMetrics {
+		ts.reg = telemetry.NewRegistry()
+	}
+	return ts
+}
+
+// registerCollectors wires every metric source into the registry, in a fixed
+// order so scrapes render stably: context (engine + pools), wire codec,
+// scheduler, per-session series, per-op latency histograms.
+func (s *Server) registerCollectors() {
+	reg := s.tel.reg
+	reg.Register(s.tel.ctxStats.Collect)
+	reg.Register(s.tel.wire.Collect)
+	reg.Register(s.tel.collectScheduler)
+	reg.Register(s.collectSessions)
+	reg.Register(s.tel.collectOpLatency)
+}
+
+func (ts *telemetryState) collectScheduler(w *telemetry.Writer) {
+	w.Counter("bts_jobs_total", "Jobs completed.",
+		[]telemetry.Label{{Name: "result", Value: "ok"}}, float64(ts.jobsOK.Load()))
+	w.Counter("bts_jobs_total", "Jobs completed.",
+		[]telemetry.Label{{Name: "result", Value: "error"}}, float64(ts.jobsErr.Load()))
+	w.Counter("bts_batches_total", "Batches dispatched.", nil, float64(ts.batchesRun.Load()))
+	w.Gauge("bts_batches_inflight", "Batches currently executing.", nil, float64(ts.batchesInflight.Load()))
+	w.Counter("bts_slow_jobs_total", "Jobs that exceeded the slow-job threshold.", nil, float64(ts.slowJobs.Load()))
+	w.Histogram("bts_batch_size", "Jobs per dispatched batch.", nil, ts.batchSize)
+	w.Histogram("bts_linger_wait_seconds", "Time undersized batches lingered for company before dispatch.", nil, ts.lingerWait)
+	w.Histogram("bts_job_latency_seconds", "Submit-to-completion job latency (queueing included).", nil, ts.jobLatency)
+	if ts.tracer != nil {
+		w.Counter("bts_trace_spans_total", "Spans recorded by the job tracer.", nil, float64(ts.tracer.Spans()))
+	}
+}
+
+// collectSessions renders the queue gauge plus the per-session series:
+// serving counters, the evaluator's op mix (the same counters /v1/stats
+// reports as op_mix), and the running noise floor.
+func (s *Server) collectSessions(w *telemetry.Writer) {
+	s.mu.Lock()
+	depth := len(s.pending)
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].name < sessions[j].name })
+
+	w.Gauge("bts_queue_depth", "Jobs queued and not yet dispatched.", nil, float64(depth))
+	w.Gauge("bts_sessions_open", "Open sessions.", nil, float64(len(sessions)))
+	for _, sess := range sessions {
+		sl := []telemetry.Label{{Name: "session", Value: sess.name}}
+		sess.stats.mu.Lock()
+		jobs, errs, qd := sess.stats.jobs, sess.stats.errors, sess.stats.queueDepth
+		sess.stats.mu.Unlock()
+		w.Counter("bts_session_jobs_total", "Jobs completed per session.", sl, float64(jobs))
+		w.Counter("bts_session_errors_total", "Failed jobs per session.", sl, float64(errs))
+		w.Gauge("bts_session_queue_depth", "Jobs submitted but not completed, per session.", sl, float64(qd))
+
+		mix := sess.eval.Counters()
+		for _, kv := range []struct {
+			kind string
+			v    int64
+		}{
+			{"mult", mix.Mult}, {"full_rot", mix.FullRot}, {"hoisted_rot", mix.HoistedRot},
+			{"decompose", mix.Decompose}, {"mod_down", mix.ModDown}, {"rescale", mix.Rescale},
+			{"pmult", mix.PMult}, {"mod_raise", mix.ModRaise}, {"key_switch", mix.KeySwitchTotal()},
+		} {
+			w.Counter("bts_session_ops_total", "Primitive-op mix executed per session (evaluator counters).",
+				[]telemetry.Label{{Name: "session", Value: sess.name}, {Name: "kind", Value: kv.kind}}, float64(kv.v))
+		}
+		if sess.noise != nil {
+			// The gauge is the minimum noise margin (bits of modulus headroom)
+			// ever observed on this session; +Inf (nothing observed yet) is
+			// skipped by the writer.
+			w.Gauge("bts_noise_floor_bits", "Minimum noise margin observed per session (bits of modulus headroom).",
+				sl, sess.noise.MinBits())
+		}
+	}
+}
+
+func (ts *telemetryState) collectOpLatency(w *telemetry.Writer) {
+	ts.opMu.Lock()
+	keys := make([]opLatKey, 0, len(ts.opLat))
+	hists := make(map[opLatKey]*telemetry.Histogram, len(ts.opLat))
+	for k, h := range ts.opLat {
+		keys = append(keys, k)
+		hists[k] = h
+	}
+	ts.opMu.Unlock()
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].kind != keys[j].kind {
+			return keys[i].kind < keys[j].kind
+		}
+		return keys[i].level < keys[j].level
+	})
+	for _, k := range keys {
+		labels := []telemetry.Label{
+			{Name: "op", Value: string(k.kind)},
+			{Name: "level", Value: itoa(k.level)},
+		}
+		w.Histogram("bts_op_latency_seconds", "Per-op execution latency, keyed by op kind and result level.", labels, hists[k])
+	}
+}
+
+// itoa avoids importing strconv for the one small non-negative int we format.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [24]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+func (ts *telemetryState) observeOp(kind OpKind, level int, d time.Duration) {
+	k := opLatKey{kind: kind, level: level}
+	ts.opMu.Lock()
+	h := ts.opLat[k]
+	if h == nil {
+		h = telemetry.NewHistogram(telemetry.LatencyBuckets())
+		ts.opLat[k] = h
+	}
+	ts.opMu.Unlock()
+	h.Observe(d.Seconds())
+}
+
+// retainSlowDump renders and retains the span tree of a job that exceeded
+// the slow-job threshold.
+func (ts *telemetryState) retainSlowDump(j *job, lat time.Duration) {
+	dump := SlowJobDump{
+		Session:   j.sess.name,
+		Ops:       len(j.ops),
+		LatencyMs: lat.Seconds() * 1e3,
+		Tree:      ts.tracer.RenderTree(j.tr.ID()),
+	}
+	ts.slowJobs.Add(1)
+	ts.dumpMu.Lock()
+	ts.dumps = append(ts.dumps, SlowJobDump{})
+	copy(ts.dumps[1:], ts.dumps)
+	ts.dumps[0] = dump
+	if len(ts.dumps) > maxRetainedDumps {
+		ts.dumps = ts.dumps[:maxRetainedDumps]
+	}
+	ts.dumpMu.Unlock()
+}
+
+// SlowJobDumps returns the retained slow-job trace dumps, newest first
+// (empty slice — never nil — when tracing is disabled or nothing was slow).
+func (s *Server) SlowJobDumps() []SlowJobDump {
+	out := []SlowJobDump{}
+	if s.tel == nil {
+		return out
+	}
+	s.tel.dumpMu.Lock()
+	out = append(out, s.tel.dumps...)
+	s.tel.dumpMu.Unlock()
+	return out
+}
+
+// MetricsRegistry returns the server's metrics registry (nil when metrics
+// are disabled); cmd/btsserve mounts its Handler and embedders can add their
+// own collectors.
+func (s *Server) MetricsRegistry() *telemetry.Registry {
+	if s.tel == nil {
+		return nil
+	}
+	return s.tel.reg
+}

@@ -1,0 +1,193 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry renders registered collectors into the Prometheus text exposition
+// format (version 0.0.4). There is no sample state inside the registry —
+// collectors read their own atomic counters on every scrape — so registering
+// is the only mutating operation.
+type Registry struct {
+	mu         sync.Mutex
+	collectors []func(w *Writer)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register appends a collector; collectors run in registration order on
+// every scrape. Safe for concurrent use with Render.
+func (r *Registry) Register(c func(w *Writer)) {
+	r.mu.Lock()
+	r.collectors = append(r.collectors, c)
+	r.mu.Unlock()
+}
+
+// Render runs every collector and returns the exposition text.
+func (r *Registry) Render() []byte {
+	r.mu.Lock()
+	collectors := make([]func(w *Writer), len(r.collectors))
+	copy(collectors, r.collectors)
+	r.mu.Unlock()
+	w := &Writer{typed: make(map[string]bool)}
+	for _, c := range collectors {
+		c(w)
+	}
+	return w.buf.Bytes()
+}
+
+// Handler serves Render as a Prometheus scrape endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write(r.Render())
+	})
+}
+
+// Label is one name="value" pair; samples carry them in the given order.
+type Label struct{ Name, Value string }
+
+// Writer accumulates exposition text during one scrape. HELP/TYPE headers are
+// emitted once per metric name, on its first sample, so a metric family split
+// across label sets (e.g. one histogram per op kind) renders legally.
+type Writer struct {
+	buf   bytes.Buffer
+	typed map[string]bool
+}
+
+func (w *Writer) header(name, help, typ string) {
+	if w.typed[name] {
+		return
+	}
+	w.typed[name] = true
+	fmt.Fprintf(&w.buf, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func formatLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, l.Name, escapeLabel(l.Value))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (w *Writer) sample(name, labels string, v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	fmt.Fprintf(&w.buf, "%s%s %g\n", name, labels, v)
+}
+
+// Counter emits one monotonically-increasing sample.
+func (w *Writer) Counter(name, help string, labels []Label, v float64) {
+	w.header(name, help, "counter")
+	w.sample(name, formatLabels(labels), v)
+}
+
+// Gauge emits one point-in-time sample.
+func (w *Writer) Gauge(name, help string, labels []Label, v float64) {
+	w.header(name, help, "gauge")
+	w.sample(name, formatLabels(labels), v)
+}
+
+// Histogram is a fixed-bucket histogram with atomic counters: Observe is a
+// binary search plus two atomic adds (no locks), so it is safe on the
+// serving hot path. Buckets are cumulative only at render time.
+type Histogram struct {
+	bounds []float64       // upper bounds, ascending
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sum    atomic.Uint64   // float64 bits, CAS-add
+	total  atomic.Uint64
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// LatencyBuckets is the default log-spaced latency bucket set (seconds),
+// spanning sub-millisecond primitive ops through multi-minute full-instance
+// bootstraps.
+func LatencyBuckets() []float64 {
+	return []float64{
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+		0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300, 600,
+	}
+}
+
+// LinearBuckets returns count evenly spaced upper bounds starting at start.
+func LinearBuckets(start, width float64, count int) []float64 {
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count reports how many values have been observed.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum reports the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Histogram emits the histogram in exposition form (cumulative le buckets,
+// _sum and _count).
+func (w *Writer) Histogram(name, help string, labels []Label, h *Histogram) {
+	w.header(name, help, "histogram")
+	base := append([]Label(nil), labels...)
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		le := formatLabels(append(base, Label{"le", formatBound(b)}))
+		fmt.Fprintf(&w.buf, "%s_bucket%s %d\n", name, le, cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	le := formatLabels(append(base, Label{"le", "+Inf"}))
+	fmt.Fprintf(&w.buf, "%s_bucket%s %d\n", name, le, cum)
+	ls := formatLabels(labels)
+	fmt.Fprintf(&w.buf, "%s_sum%s %g\n", name, ls, h.Sum())
+	fmt.Fprintf(&w.buf, "%s_count%s %d\n", name, ls, cum)
+}
+
+func formatBound(b float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", b), "0"), ".")
+}

@@ -1,0 +1,66 @@
+// Package telemetry is the observability substrate of the serving runtime:
+// a zero-allocation hierarchical span tracer and a dependency-free
+// Prometheus-text metrics registry, shared by every layer of the hot path
+// (HTTP ingress → scheduler → evaluator → ring engine).
+//
+// The package is deliberately tiny and stdlib-only so the ring and ckks
+// layers can import it without cycles or new dependencies. Its two halves:
+//
+//   - Tracer/Trace/Span (tracer.go): spans are plain values recorded into a
+//     fixed-size lock-free ring buffer of all-atomic slots. Recording a span
+//     is a handful of atomic stores — no allocation, no locks — and a
+//     disabled trace (the zero Trace value) reduces every call to a nil
+//     check, so instrumentation sites cost nothing when tracing is off. The
+//     serving layer keeps one Trace per job and dumps the reconstructed span
+//     tree for jobs exceeding its slow-job threshold.
+//
+//   - Registry/Writer/Histogram (metrics.go) and the shared counter structs
+//     (stats.go): collectors render directly from atomic counters into the
+//     Prometheus text exposition format on every scrape; between scrapes the
+//     only state is the counters themselves. EngineStats, PoolStats and
+//     WireStats are owned here so ring and wire can bump them through a
+//     nil-guarded pointer without knowing anything about serving.
+//
+// Span names are interned once (Name) into small integer handles; recording
+// sites hold the handle in a package-level var, so the per-span cost never
+// includes a map lookup or a string copy.
+package telemetry
+
+import "sync"
+
+// names interns span names. Interning happens at package init time in the
+// instrumented packages (a handful of names); lookups during rendering take
+// the read lock only.
+var names struct {
+	mu     sync.RWMutex
+	byName map[string]uint32
+	list   []string
+}
+
+// Name interns a span name and returns its handle. Call it once per name
+// (package-level var); handles are process-global and never recycled.
+func Name(s string) uint32 {
+	names.mu.Lock()
+	defer names.mu.Unlock()
+	if names.byName == nil {
+		names.byName = make(map[string]uint32)
+	}
+	if id, ok := names.byName[s]; ok {
+		return id
+	}
+	names.list = append(names.list, s)
+	id := uint32(len(names.list) - 1)
+	names.byName[s] = id
+	return id
+}
+
+// nameOf resolves a handle back to its string ("?" for an unknown handle —
+// possible only for a torn slot read, see tracer.go).
+func nameOf(id uint32) string {
+	names.mu.RLock()
+	defer names.mu.RUnlock()
+	if int(id) < len(names.list) {
+		return names.list[id]
+	}
+	return "?"
+}

@@ -20,7 +20,7 @@ func (c *Codec) WritePoly(w io.Writer, p *ring.Poly, level int) error {
 	if err := appendPolyBody(&buf, c.ctx.RingQ, p, level); err != nil {
 		return err
 	}
-	return writeEnvelope(w, TypePoly, buf.Bytes())
+	return c.writeEnvelope(w, TypePoly, buf.Bytes())
 }
 
 // ReadPoly decodes one q-ring polynomial envelope, returning the polynomial
@@ -68,7 +68,7 @@ func (c *Codec) WritePlaintext(w io.Writer, pt *ckks.Plaintext) error {
 	if err := appendPolyBody(&buf, c.ctx.RingQ, pt.Value, pt.Level); err != nil {
 		return err
 	}
-	return writeEnvelope(w, TypePlaintext, buf.Bytes())
+	return c.writeEnvelope(w, TypePlaintext, buf.Bytes())
 }
 
 // ReadPlaintext decodes one plaintext envelope.
@@ -125,7 +125,7 @@ func (c *Codec) WriteCiphertext(w io.Writer, ct *ckks.Ciphertext) error {
 	if err := appendPolyBody(&buf, c.ctx.RingQ, ct.C1, ct.Level); err != nil {
 		return err
 	}
-	return writeEnvelope(w, TypeCiphertext, buf.Bytes())
+	return c.writeEnvelope(w, TypeCiphertext, buf.Bytes())
 }
 
 // ReadCiphertext decodes one ciphertext envelope. A pooled codec draws the
@@ -213,7 +213,7 @@ func (c *Codec) WritePublicKey(w io.Writer, pk *ckks.PublicKey) error {
 	if err := appendPolyBody(&buf, rq, pk.Value[1], rq.MaxLevel()); err != nil {
 		return err
 	}
-	return writeEnvelope(w, TypePublicKey, buf.Bytes())
+	return c.writeEnvelope(w, TypePublicKey, buf.Bytes())
 }
 
 // ReadPublicKey decodes one public-key envelope.
@@ -319,7 +319,7 @@ func (c *Codec) WriteSwitchingKey(w io.Writer, swk *ckks.SwitchingKey) error {
 	if err := c.appendSwitchingKeyBody(&buf, swk); err != nil {
 		return err
 	}
-	return writeEnvelope(w, TypeSwitchingKey, buf.Bytes())
+	return c.writeEnvelope(w, TypeSwitchingKey, buf.Bytes())
 }
 
 // ReadSwitchingKey decodes one switching-key envelope.
@@ -377,7 +377,7 @@ func (c *Codec) WriteRotationKeySet(w io.Writer, rtks *ckks.RotationKeySet) erro
 			return err
 		}
 	}
-	return writeEnvelope(w, TypeRotationKeySet, buf.Bytes())
+	return c.writeEnvelope(w, TypeRotationKeySet, buf.Bytes())
 }
 
 // ReadRotationKeySet decodes one rotation-key-set envelope. Galois elements

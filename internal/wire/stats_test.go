@@ -1,0 +1,40 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+
+	"bts/internal/telemetry"
+)
+
+func TestCodecStatsCountTraffic(t *testing.T) {
+	ctx, _, _ := testContext(t)
+	c := NewCodec(ctx)
+	var st telemetry.WireStats
+	c.SetStats(&st)
+
+	rng := rand.New(rand.NewSource(9))
+	p := ctx.RingQ.NewPolyLevel(1)
+	ctx.RingQ.SampleUniform(rng, p, 1)
+
+	b, err := c.MarshalPoly(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.UnmarshalPoly(b); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := st.EnvelopesOut.Load(); got != 1 {
+		t.Fatalf("EnvelopesOut = %d, want 1", got)
+	}
+	if got := st.EnvelopesIn.Load(); got != 1 {
+		t.Fatalf("EnvelopesIn = %d, want 1", got)
+	}
+	if got := st.BytesOut.Load(); got != int64(len(b)) {
+		t.Fatalf("BytesOut = %d, want the full envelope %d", got, len(b))
+	}
+	if got := st.BytesIn.Load(); got != int64(len(b)) {
+		t.Fatalf("BytesIn = %d, want the full envelope %d", got, len(b))
+	}
+}

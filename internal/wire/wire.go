@@ -45,6 +45,7 @@ import (
 
 	"bts/internal/ckks"
 	"bts/internal/ring"
+	"bts/internal/telemetry"
 )
 
 // Version is the wire-format version emitted by this package. Decoders
@@ -92,11 +93,22 @@ func (t Type) String() string {
 const MaxRotationKeys = 4096
 
 // Codec encodes and decodes wire objects for one ckks.Context. A Codec is
-// stateless apart from its context binding and is safe for concurrent use.
+// stateless apart from its context binding (and an optional stats sink) and
+// is safe for concurrent use.
 type Codec struct {
 	ctx    *ckks.Context
 	pooled bool
+
+	// stats, when non-nil, counts envelopes and bytes through the codec
+	// (headers included); every hook is nil-guarded. See SetStats.
+	stats *telemetry.WireStats
 }
+
+// SetStats attaches a traffic counter sink to the codec (nil detaches):
+// every envelope encoded counts as "out" and every envelope decoded as "in",
+// whether it crossed a socket or a byte-slice Marshal round trip. Attach
+// before serving traffic; must not race encode/decode calls.
+func (c *Codec) SetStats(st *telemetry.WireStats) { c.stats = st }
 
 // NewCodec returns a codec bound to ctx. Decoded ciphertexts are plain
 // allocations.
@@ -130,7 +142,7 @@ func PeekType(br *bufio.Reader) (Type, error) {
 }
 
 // writeEnvelope frames payload and writes it to w.
-func writeEnvelope(w io.Writer, t Type, payload []byte) error {
+func (c *Codec) writeEnvelope(w io.Writer, t Type, payload []byte) error {
 	if uint64(len(payload)) > math.MaxUint32 {
 		return fmt.Errorf("wire: %s payload of %d bytes exceeds the 4 GiB envelope limit", t, len(payload))
 	}
@@ -144,6 +156,10 @@ func writeEnvelope(w io.Writer, t Type, payload []byte) error {
 	}
 	if _, err := w.Write(payload); err != nil {
 		return fmt.Errorf("wire: writing %s payload: %w", t, err)
+	}
+	if st := c.stats; st != nil {
+		st.EnvelopesOut.Add(1)
+		st.BytesOut.Add(int64(headerSize + len(payload)))
 	}
 	return nil
 }
@@ -178,6 +194,10 @@ func (c *Codec) readEnvelope(r io.Reader, want Type) ([]byte, error) {
 	}
 	if uint64(m) != uint64(n) {
 		return nil, fmt.Errorf("wire: %s payload truncated: got %d of %d bytes", want, m, n)
+	}
+	if st := c.stats; st != nil {
+		st.EnvelopesIn.Add(1)
+		st.BytesIn.Add(int64(headerSize) + m)
 	}
 	return buf.Bytes(), nil
 }
