@@ -146,6 +146,51 @@
 // noise floor alongside the existing percentiles. -pprof additionally
 // mounts net/http/pprof under /debug/pprof/.
 //
+// # Fault tolerance
+//
+// The serving runtime is built to survive crashes, restarts and partial
+// failures without ever returning a wrong ciphertext:
+//
+//   - Durable key store. With serve.Config.StoreDir set, every session's
+//     uploaded evaluation keys are persisted write-through at open — wire
+//     codec blobs plus a JSON manifest carrying CRC-32C checksums, sizes
+//     and the parameter fingerprint, committed crash-safely (blobs fsynced
+//     into a temp dir, manifest written last, atomic rename). A restarted
+//     daemon lists manifests only; key material rehydrates lazily on each
+//     session's first job. Any corruption — bit flip, truncation, foreign
+//     parameters — fails the load with a typed "store" error, never a bad
+//     key.
+//
+//   - Key-memory governance. SessionQuotaBytes caps a tenant's decoded
+//     key bytes at upload (HTTP 413 past it); KeyCacheBytes bounds total
+//     resident decoded keys with an LRU over idle sessions, evicting cold
+//     key sets to disk and reloading on demand. bts_key_resident_bytes,
+//     bts_key_evictions_total and bts_key_reloads_total track the cache.
+//
+//   - Request lifecycle. A context.Context follows each job from HTTP
+//     handler through queue to batch execution: per-job deadlines
+//     (Config.DefaultJobTimeout or the request's timeout_ms), cancelled
+//     jobs that are still queued never execute, and a cancelled session
+//     never stalls other tenants' batches. A panic inside an op fails only
+//     the offending job (bts_job_panics_total{op}, span tree retained on
+//     /v1/traces when tracing); a session whose jobs panic repeatedly is
+//     quarantined until its keys are re-uploaded. Errors carry a stable
+//     code and a retryable bit end to end — serve.Error over HTTP — and
+//     the client retries retryable failures with exponential backoff and
+//     full jitter instead of a blanket request timeout. Jobs are pure
+//     functions of inputs and keys, so a retried job is bit-identical.
+//
+//   - Fault injection. internal/faultinject provides named failpoints
+//     (error, panic, delay — armed via BTS_FAILPOINTS or tests, free nil
+//     checks when disarmed) at the store, scheduler-dispatch and op
+//     boundaries; the chaos suite kills and restarts a daemon mid-workload
+//     under the race detector and asserts every job either completes
+//     bit-identically or fails with a typed retryable error.
+//
+// btsserve drains on SIGTERM/SIGINT: it stops accepting connections,
+// finishes queued and in-flight jobs (bounded by -drain-timeout) and exits
+// 0; the write-through store means shutdown flushes nothing.
+//
 // This package re-exports the stable entry points used by the examples and
 // command-line tools; the root-level benchmarks (bench_test.go) regenerate
 // the paper's evaluation via the same functions.

@@ -9,7 +9,30 @@
 //
 //	btsserve [-addr 127.0.0.1:8631] [-params toy|small|boot] [-workers N]
 //	         [-batch 8] [-batch-window 200us] [-queue 1024]
+//	         [-store DIR] [-quota BYTES] [-key-cache BYTES]
+//	         [-job-timeout 0] [-drain-timeout 30s]
 //	         [-metrics] [-slow-job 0] [-pprof]
+//
+// Fault-tolerance flags:
+//
+//	-store          root directory of the durable session store; sessions
+//	                and their uploaded keys survive restarts (keys rehydrate
+//	                lazily on first use)
+//	-quota          per-session decoded evaluation-key byte quota
+//	                (0 = unlimited); oversized uploads fail with HTTP 413
+//	-key-cache      total decoded-key bytes kept resident across sessions
+//	                (0 = unlimited; requires -store): cold sessions' keys
+//	                are evicted to disk and reloaded on demand
+//	-job-timeout    default per-job deadline (0 = none); requests may set
+//	                their own via JobRequest.timeout_ms
+//	-drain-timeout  how long SIGTERM/SIGINT shutdown waits for in-flight
+//	                jobs before abandoning them (they fail with typed
+//	                retryable errors, never a wrong result)
+//
+// The BTS_FAILPOINTS environment variable arms fault-injection failpoints
+// for chaos drills, e.g.
+// BTS_FAILPOINTS="serve.store.load=error,count=1;serve.op.exec=delay,delay=50ms"
+// (see internal/faultinject).
 //
 // Observability flags:
 //
@@ -42,7 +65,9 @@
 //	                           key upload) is a fraction of the dense
 //	                           transform's requirement
 //
-// The daemon exits gracefully on SIGINT/SIGTERM, draining in-flight jobs.
+// The daemon exits gracefully on SIGINT/SIGTERM: it stops accepting
+// connections, drains queued and in-flight jobs (bounded by -drain-timeout),
+// and exits 0. Durable sessions need no flush — the store is write-through.
 package main
 
 import (
@@ -57,6 +82,7 @@ import (
 	"time"
 
 	"bts/internal/ckks"
+	"bts/internal/faultinject"
 	"bts/internal/serve"
 )
 
@@ -95,6 +121,11 @@ func main() {
 	parallel := flag.Int("parallel", 4, "max batches in flight at once")
 	batchWindow := flag.Duration("batch-window", 200*time.Microsecond, "linger time to fill a batch")
 	queue := flag.Int("queue", 1024, "max queued jobs")
+	storeDir := flag.String("store", "", "durable session store directory (empty = RAM-only sessions)")
+	quota := flag.Int64("quota", 0, "per-session decoded key-byte quota (0 = unlimited)")
+	keyCache := flag.Int64("key-cache", 0, "total resident decoded key bytes before LRU eviction (0 = unlimited; requires -store)")
+	jobTimeout := flag.Duration("job-timeout", 0, "default per-job deadline (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight jobs at shutdown")
 	metrics := flag.Bool("metrics", true, "serve Prometheus text on /metrics and expvar on /debug/vars")
 	slowJob := flag.Duration("slow-job", 0, "trace jobs and retain span trees of jobs slower than this (0 = off)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -108,16 +139,26 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if spec := os.Getenv("BTS_FAILPOINTS"); spec != "" {
+		if err := faultinject.ArmFromSpec(spec); err != nil {
+			log.Fatalf("btsserve: BTS_FAILPOINTS: %v", err)
+		}
+		log.Printf("btsserve: fault injection armed: %s", spec)
+	}
 	cfg := serve.Config{
-		Params:         params,
-		Workers:        *workers,
-		BatchSize:      *batch,
-		Parallel:       *parallel,
-		BatchWindow:    *batchWindow,
-		MaxQueue:       *queue,
-		DisableMetrics: !*metrics,
-		SlowJob:        *slowJob,
-		Pprof:          *pprofOn,
+		Params:            params,
+		Workers:           *workers,
+		BatchSize:         *batch,
+		Parallel:          *parallel,
+		BatchWindow:       *batchWindow,
+		MaxQueue:          *queue,
+		StoreDir:          *storeDir,
+		SessionQuotaBytes: *quota,
+		KeyCacheBytes:     *keyCache,
+		DefaultJobTimeout: *jobTimeout,
+		DisableMetrics:    !*metrics,
+		SlowJob:           *slowJob,
+		Pprof:             *pprofOn,
 	}
 	if boot {
 		bp := ckks.DefaultBootstrapParams()
@@ -135,6 +176,14 @@ func main() {
 			*preset, params.LogN, params.MaxLevel(), params.Dnum, *batch, *batchWindow)
 	}
 
+	if *storeDir != "" {
+		st := srv.Stats()
+		log.Printf("btsserve: durable store at %s (%d stored sessions), quota=%d B/session, key-cache=%d B",
+			*storeDir, len(st.Sessions), *quota, *keyCache)
+	}
+	if *jobTimeout > 0 {
+		log.Printf("btsserve: default job deadline %s", *jobTimeout)
+	}
 	if *metrics {
 		log.Printf("btsserve: metrics on /metrics, expvar on /debug/vars")
 	}
@@ -151,11 +200,19 @@ func main() {
 		defer close(done)
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-		<-sig
-		log.Print("btsserve: shutting down")
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		got := <-sig
+		log.Printf("btsserve: %s: draining (up to %s)", got, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
+		// Stop accepting connections first (in-flight HTTP requests finish),
+		// then drain the scheduler: queued and executing jobs complete, new
+		// submits fail with a retryable "unavailable" error.
 		_ = httpSrv.Shutdown(ctx)
+		if err := srv.Drain(ctx); err != nil {
+			log.Printf("btsserve: drain abandoned after %s: remaining jobs failed cleanly", *drainTimeout)
+		} else {
+			log.Print("btsserve: drained")
+		}
 	}()
 	log.Printf("btsserve: listening on http://%s", *addr)
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
@@ -163,4 +220,5 @@ func main() {
 	}
 	<-done
 	srv.Close()
+	log.Print("btsserve: exit")
 }

@@ -61,6 +61,23 @@ func (c OpCounters) Sub(prev OpCounters) OpCounters {
 	}
 }
 
+// Add returns the per-field sum c + other. The serving layer uses it to
+// keep a session's reported op mix monotonic across evaluator rebuilds:
+// evicting a session's keys folds the old evaluator's tally into a base,
+// and the evaluator rebuilt at rehydration starts counting from zero.
+func (c OpCounters) Add(other OpCounters) OpCounters {
+	return OpCounters{
+		Mult:       c.Mult + other.Mult,
+		FullRot:    c.FullRot + other.FullRot,
+		HoistedRot: c.HoistedRot + other.HoistedRot,
+		Decompose:  c.Decompose + other.Decompose,
+		ModDown:    c.ModDown + other.ModDown,
+		Rescale:    c.Rescale + other.Rescale,
+		PMult:      c.PMult + other.PMult,
+		ModRaise:   c.ModRaise + other.ModRaise,
+	}
+}
+
 // Counters returns a snapshot of the op mix executed through this evaluator
 // since construction (or the last ResetCounters). Safe for concurrent use.
 func (ev *Evaluator) Counters() OpCounters {

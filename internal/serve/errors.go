@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"bts/internal/faultinject"
+)
+
+// ErrCode classifies a serving failure. Codes travel in the JSON error
+// body (errorResponse) together with a retryable flag, so clients retry on
+// taxonomy, not on string matching. The taxonomy is deliberately small:
+//
+//	invalid        the request itself is wrong (bad program, unknown
+//	               session, malformed wire bytes) — retrying is useless
+//	unavailable    the server is closed or draining; a restarted or
+//	               rebalanced daemon will accept the same request
+//	queue_full     admission control rejected the job; backoff and retry
+//	deadline       the job's deadline expired (queued or between ops)
+//	canceled       the submitter canceled the job before it ran
+//	quota          the upload exceeds the tenant's key-memory quota
+//	quarantined    the session was quarantined after repeated faults;
+//	               reopen it (re-upload keys) to clear
+//	store          the durable session store failed (I/O, checksum,
+//	               fingerprint); transient by assumption, retryable
+//	internal       a job panicked or an injected fault fired; the op
+//	               never produced a result, so retrying is safe
+type ErrCode string
+
+const (
+	CodeInvalid     ErrCode = "invalid"
+	CodeUnavailable ErrCode = "unavailable"
+	CodeQueueFull   ErrCode = "queue_full"
+	CodeDeadline    ErrCode = "deadline"
+	CodeCanceled    ErrCode = "canceled"
+	CodeQuota       ErrCode = "quota"
+	CodeQuarantined ErrCode = "quarantined"
+	CodeStore       ErrCode = "store"
+	CodeInternal    ErrCode = "internal"
+)
+
+// Error is the serving layer's typed error: a code, whether the failure is
+// safe and useful to retry, and a message. Every error a job or session
+// operation can return is (or wraps) one of these; the HTTP layer renders
+// code and retryability into the JSON error body and the client rebuilds
+// the same value on the far side, so retry policy survives the socket.
+//
+// Retryability is decided where the error is raised: jobs are pure
+// functions of their inputs (the server mutates only statistics), so any
+// failure that happened before a result was produced — a drained queue, a
+// panicked op, a store read, an injected fault — is safe to retry; only
+// failures that would repeat deterministically (invalid programs, quota
+// overruns, quarantine) are marked terminal.
+type Error struct {
+	Code      ErrCode
+	Retryable bool
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("serve: %s (%s)", e.Msg, e.Code)
+}
+
+// errf builds a typed error. Retryability defaults per code (see Error);
+// use errfRetry to override.
+func errf(code ErrCode, format string, args ...any) *Error {
+	return &Error{Code: code, Retryable: defaultRetryable(code), Msg: fmt.Sprintf(format, args...)}
+}
+
+func defaultRetryable(code ErrCode) bool {
+	switch code {
+	case CodeUnavailable, CodeQueueFull, CodeStore, CodeInternal:
+		return true
+	}
+	return false
+}
+
+// Code extracts the ErrCode of err ("" when err is not a serving error).
+func Code(err error) ErrCode {
+	var se *Error
+	if errors.As(err, &se) {
+		return se.Code
+	}
+	return ""
+}
+
+// IsRetryable reports whether err is a typed serving error marked safe to
+// retry. Transport-level failures are classified by the client, not here.
+func IsRetryable(err error) bool {
+	var se *Error
+	return errors.As(err, &se) && se.Retryable
+}
+
+// httpStatus maps a serving error onto an HTTP status for the JSON error
+// body. The client reconstructs the typed error from the body, so the
+// status is advisory (and keeps curl/load-balancer semantics sensible).
+func httpStatus(err error) int {
+	switch Code(err) {
+	case CodeInvalid:
+		return http.StatusBadRequest
+	case CodeUnavailable:
+		return http.StatusServiceUnavailable
+	case CodeQueueFull:
+		return http.StatusTooManyRequests
+	case CodeDeadline:
+		return http.StatusGatewayTimeout
+	case CodeCanceled:
+		return http.StatusRequestTimeout
+	case CodeQuota:
+		return http.StatusRequestEntityTooLarge
+	case CodeQuarantined:
+		return http.StatusLocked
+	case CodeStore, CodeInternal:
+		return http.StatusInternalServerError
+	}
+	return http.StatusBadRequest
+}
+
+// injectedFaultError converts a fired failpoint into the serving taxonomy:
+// injected faults are transient by construction, so they are retryable —
+// surviving them via retry is exactly what the chaos tests assert.
+func injectedFaultError(err error) *Error {
+	var fe *faultinject.Error
+	if errors.As(err, &fe) {
+		return &Error{Code: CodeInternal, Retryable: true, Msg: fe.Error()}
+	}
+	return &Error{Code: CodeInternal, Retryable: true, Msg: err.Error()}
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -60,14 +61,22 @@ type ParamsResponse struct {
 }
 
 // JobRequest is the JSON program block preceding the input ciphertexts in a
-// job request body.
+// job request body. TimeoutMs, when positive, sets the job's deadline
+// (overriding Config.DefaultJobTimeout); expiry fails the job with a typed
+// "deadline" error without executing the remaining ops.
 type JobRequest struct {
-	Session string `json:"session"`
-	Ops     []Op   `json:"ops"`
+	Session   string `json:"session"`
+	Ops       []Op   `json:"ops"`
+	TimeoutMs int64  `json:"timeout_ms,omitempty"`
 }
 
+// errorResponse is the JSON error body. Code and Retryable carry the typed
+// serving error across the socket, so the client retries on taxonomy
+// instead of parsing messages or guessing from HTTP statuses.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error     string  `json:"error"`
+	Code      ErrCode `json:"code,omitempty"`
+	Retryable bool    `json:"retryable,omitempty"`
 }
 
 // Handler returns the server's HTTP API.
@@ -115,7 +124,22 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+	resp := errorResponse{Error: err.Error()}
+	if code := Code(err); code != "" {
+		resp.Code = code
+		resp.Retryable = IsRetryable(err)
+	} else if status == http.StatusServiceUnavailable {
+		resp.Code, resp.Retryable = CodeUnavailable, true
+	} else {
+		resp.Code = CodeInvalid
+	}
+	writeJSON(w, status, resp)
+}
+
+// writeServeError renders a typed serving error with its canonical HTTP
+// status (see httpStatus).
+func writeServeError(w http.ResponseWriter, err error) {
+	writeError(w, httpStatus(err), err)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -192,7 +216,7 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if err := s.OpenSession(name, rlk, rtks); err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeServeError(w, err)
 		return
 	}
 	sess, _ := s.session(name)
@@ -256,15 +280,20 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		inputs = append(inputs, ct)
 	}
 
+	// The request context rides into the scheduler: a client disconnect
+	// cancels the job (never executed if still queued), and a request-scoped
+	// timeout becomes the job's deadline.
+	ctx := r.Context()
+	if req.TimeoutMs > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMs)*time.Millisecond)
+		defer cancel()
+	}
 	start := time.Now()
-	result, err := s.Submit(req.Session, req.Ops, inputs)
+	result, err := s.SubmitContext(ctx, req.Session, req.Ops, inputs)
 	release()
 	if err != nil {
-		status := http.StatusBadRequest
-		if errors.Is(err, errServerClosed) {
-			status = http.StatusServiceUnavailable
-		}
-		writeError(w, status, err)
+		writeServeError(w, err)
 		return
 	}
 	defer s.ctx.PutCiphertext(result)

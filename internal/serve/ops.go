@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"bts/internal/ckks"
+	"bts/internal/faultinject"
 	"bts/internal/telemetry"
 )
 
@@ -56,7 +57,7 @@ func (o Op) binary() bool {
 // MaxOpsPerJob).
 func validateOps(ops []Op, inputs, maxOps int) error {
 	if len(ops) == 0 {
-		return fmt.Errorf("serve: job has no ops")
+		return errf(CodeInvalid, "job has no ops")
 	}
 	cost := 0
 	avail := inputs // slots visible to the next op
@@ -67,33 +68,33 @@ func validateOps(ops []Op, inputs, maxOps int) error {
 			cost++
 		case OpRotateHoisted:
 			if len(op.Bys) == 0 {
-				return fmt.Errorf("serve: op %d: roth with no rotation amounts", i)
+				return errf(CodeInvalid, "op %d: roth with no rotation amounts", i)
 			}
 			// Enforce the budget before the per-amount work below, so a
 			// huge Bys list is rejected in O(1) rather than validated.
 			if cost+len(op.Bys) > maxOps {
-				return fmt.Errorf("serve: job has over %d ops, limit is %d", maxOps, maxOps)
+				return errf(CodeInvalid, "job has over %d ops, limit is %d", maxOps, maxOps)
 			}
 			seen := make(map[int]bool, len(op.Bys))
 			for _, by := range op.Bys {
 				if seen[by] {
-					return fmt.Errorf("serve: op %d: duplicate rotation amount %d in roth", i, by)
+					return errf(CodeInvalid, "op %d: duplicate rotation amount %d in roth", i, by)
 				}
 				seen[by] = true
 			}
 			produced = len(op.Bys)
 			cost += len(op.Bys)
 		default:
-			return fmt.Errorf("serve: op %d: unknown kind %q", i, op.Kind)
+			return errf(CodeInvalid, "op %d: unknown kind %q", i, op.Kind)
 		}
 		if cost > maxOps {
-			return fmt.Errorf("serve: job has over %d ops, limit is %d", maxOps, maxOps)
+			return errf(CodeInvalid, "job has over %d ops, limit is %d", maxOps, maxOps)
 		}
 		if op.A < 0 || op.A >= avail {
-			return fmt.Errorf("serve: op %d: operand a=%d outside [0,%d)", i, op.A, avail)
+			return errf(CodeInvalid, "op %d: operand a=%d outside [0,%d)", i, op.A, avail)
 		}
 		if op.binary() && (op.B < 0 || op.B >= avail) {
-			return fmt.Errorf("serve: op %d: operand b=%d outside [0,%d)", i, op.B, avail)
+			return errf(CodeInvalid, "op %d: operand b=%d outside [0,%d)", i, op.B, avail)
 		}
 		avail += produced
 	}
@@ -101,23 +102,29 @@ func validateOps(ops []Op, inputs, maxOps int) error {
 }
 
 // run interprets the job program on the given evaluator (the session's
-// shared evaluator, or a job-private traced copy — see runBatch). Evaluator
+// shared evaluator, or a job-private traced copy — see runBatch) and
+// bootstrapper (nil when the session's keys do not cover one). Evaluator
 // primitives panic on programmer error (missing keys, scale mismatch,
 // rescale at level 0); a job must never take the server down, so the
-// interpreter converts panics into job errors. Intermediate results are
-// returned to the context's ciphertext pool; the final result is handed to
-// the caller (pooled).
+// interpreter converts panics into typed job errors — recording a
+// bts_job_panics_total sample labeled with the op kind, retaining the
+// failed job's span tree on /v1/traces (when traced), and advancing the
+// session's quarantine ledger. The job's context is checked between ops, so
+// an expired deadline aborts the program without executing the remainder.
+// Intermediate results are returned to the context's ciphertext pool; the
+// final result is handed to the caller (pooled).
 //
 // Each executed op is bracketed by an "op.<kind>" span (when the job is
 // traced) carrying the result's level and noise margin, and by a latency
 // observation into the per-(kind, level) histogram (when metrics are on).
-func (j *job) run(s *Server, ev *ckks.Evaluator) (result *ckks.Ciphertext, err error) {
+func (j *job) run(s *Server, ev *ckks.Evaluator, bt *ckks.Bootstrapper) (result *ckks.Ciphertext, err error) {
 	ctx := s.ctx
 	slots := make([]*ckks.Ciphertext, len(j.inputs), len(j.inputs)+len(j.ops))
 	copy(slots, j.inputs)
+	var curKind OpKind // op being executed, for the panic report
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("serve: op failed: %v", r)
+			err = s.jobPanicked(j, curKind, r)
 			result = nil
 		}
 		// Release every produced intermediate except the result; inputs stay
@@ -127,8 +134,18 @@ func (j *job) run(s *Server, ev *ckks.Evaluator) (result *ckks.Ciphertext, err e
 				ctx.PutCiphertext(ct)
 			}
 		}
+		if err == nil {
+			j.sess.noteSuccess()
+		}
 	}()
 	for i, op := range j.ops {
+		if cerr := j.ctx.Err(); cerr != nil {
+			return nil, contextError(cerr)
+		}
+		if ferr := faultinject.Eval("serve.op.exec"); ferr != nil {
+			return nil, injectedFaultError(ferr)
+		}
+		curKind = op.Kind
 		var (
 			out   *ckks.Ciphertext
 			sp    telemetry.Span
@@ -166,15 +183,15 @@ func (j *job) run(s *Server, ev *ckks.Evaluator) (result *ckks.Ciphertext, err e
 		case OpRescale:
 			out = ev.Rescale(slots[op.A])
 		case OpBootstrap:
-			if j.sess.bt == nil {
-				return nil, fmt.Errorf("serve: op %d: session %q has no bootstrapper (disabled or rotation keys missing)", i, j.sess.name)
+			if bt == nil {
+				return nil, errf(CodeInvalid, "op %d: session %q has no bootstrapper (disabled or rotation keys missing)", i, j.sess.name)
 			}
 			// BootstrapWith runs the pipeline on this job's evaluator, so a
 			// traced job records the phase spans under its own op span.
 			var berr error
-			out, berr = j.sess.bt.BootstrapWith(ev, slots[op.A])
+			out, berr = bt.BootstrapWith(ev, slots[op.A])
 			if berr != nil {
-				return nil, fmt.Errorf("serve: op %d: bootstrap: %w", i, berr)
+				return nil, errf(CodeInvalid, "op %d: bootstrap: %v", i, berr)
 			}
 		}
 		if sp.Recording() {
@@ -189,4 +206,28 @@ func (j *job) run(s *Server, ev *ckks.Evaluator) (result *ckks.Ciphertext, err e
 		slots = append(slots, out)
 	}
 	return slots[len(slots)-1], nil
+}
+
+// jobPanicked converts a recovered op panic into the job's typed error:
+// counted per op kind (bts_job_panics_total), dumped to /v1/traces when the
+// job is traced, and scored against the session's quarantine ledger. The
+// error is retryable — the op produced no result, and a panic may be
+// load- or fault-injection-induced — but once the session quarantines,
+// further submits fail terminally until the tenant reopens it.
+func (s *Server) jobPanicked(j *job, kind OpKind, r any) error {
+	if kind == "" {
+		kind = "(pre-op)"
+	}
+	if s.tel != nil {
+		s.tel.observePanic(kind)
+	}
+	err := &Error{Code: CodeInternal, Retryable: true,
+		Msg: fmt.Sprintf("op %s panicked: %v", kind, r)}
+	if j.tr.Active() && s.tel != nil && s.tel.tracer != nil {
+		s.tel.retainDump(j, time.Since(j.enqueued), "panic", err)
+	}
+	if j.sess.noteFault(s.cfg.QuarantineAfter) && s.tel != nil {
+		s.tel.quarantines.Add(1)
+	}
+	return err
 }

@@ -1,21 +1,34 @@
 package serve
 
 import (
+	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bts/internal/ckks"
+	"bts/internal/faultinject"
 	"bts/internal/telemetry"
 )
 
 // job is one queued unit of work: a program over input ciphertexts bound to
-// a session.
+// a session, plus the submitter's context.
 type job struct {
+	ctx      context.Context
 	sess     *session
 	ops      []Op
 	inputs   []*ckks.Ciphertext
 	enqueued time.Time
 	done     chan jobResult
+
+	// cancelled is set by the submitter when its context expires after the
+	// job was claimed into a batch; the batch worker checks it before
+	// executing and skips the job entirely.
+	cancelled atomic.Bool
+	// delivered guards the one-shot completion bookkeeping (stats, metrics,
+	// the done send), so the normal path, the cancel path and the
+	// batch-boundary panic recovery cannot double-complete a job.
+	delivered atomic.Bool
 
 	// tr is the job's trace (inert zero value unless the server traces
 	// jobs); root spans submit-to-completion and parents every op span,
@@ -28,6 +41,46 @@ type job struct {
 type jobResult struct {
 	ct  *ckks.Ciphertext
 	err error
+}
+
+// finishJob is the single completion point of every job: it records
+// latency, per-session statistics and result counters exactly once, then
+// delivers on the job's buffered done channel. executed reports whether the
+// job actually ran ops (cancelled/skipped jobs keep their latency out of
+// the percentile reservoirs' op accounting only via ops=0).
+func (s *Server) finishJob(j *job, ct *ckks.Ciphertext, err error, executed bool) {
+	if !j.delivered.CompareAndSwap(false, true) {
+		// Someone already completed this job (e.g. the cancel path raced the
+		// batch worker). A produced result must not leak out of the pool.
+		if ct != nil {
+			s.ctx.PutCiphertext(ct)
+		}
+		return
+	}
+	lat := time.Since(j.enqueued)
+	if ts := s.tel; ts != nil {
+		ts.jobLatency.Observe(lat.Seconds())
+		switch {
+		case err == nil:
+			ts.jobsOK.Add(1)
+		case Code(err) == CodeCanceled || Code(err) == CodeDeadline:
+			ts.jobsCancelled.Add(1)
+		default:
+			ts.jobsErr.Add(1)
+		}
+	}
+	if j.tr.Active() {
+		j.root.End()
+		if err == nil && s.cfg.SlowJob > 0 && lat >= s.cfg.SlowJob {
+			s.tel.retainDump(j, lat, "slow", nil)
+		}
+	}
+	ops := 0
+	if executed && err == nil {
+		ops = len(j.ops)
+	}
+	j.sess.stats.completed(lat, ops, err)
+	j.done <- jobResult{ct: ct, err: err}
 }
 
 // dispatch is the scheduler loop. It repeatedly forms a batch — up to
@@ -51,8 +104,7 @@ type jobResult struct {
 func (s *Server) dispatch() {
 	defer close(s.dispatcherDone)
 	sem := make(chan struct{}, s.cfg.Parallel)
-	var batches sync.WaitGroup
-	defer batches.Wait()
+	defer s.batches.Wait()
 	for {
 		s.mu.Lock()
 		var batch []*job
@@ -62,8 +114,7 @@ func (s *Server) dispatch() {
 				s.pending = nil
 				s.mu.Unlock()
 				for _, j := range pending {
-					j.sess.stats.dequeued()
-					j.done <- jobResult{err: errServerClosed}
+					s.finishJob(j, nil, errServerClosed, false)
 				}
 				return
 			}
@@ -78,9 +129,9 @@ func (s *Server) dispatch() {
 		}
 		s.mu.Unlock()
 		sem <- struct{}{}
-		batches.Add(1)
+		s.batches.Add(1)
 		go func(batch []*job) {
-			defer batches.Done()
+			defer s.batches.Done()
 			defer func() { <-sem }()
 			s.runBatch(batch)
 		}(batch)
@@ -191,45 +242,72 @@ func (s *Server) takeBatchLocked(now time.Time) ([]*job, time.Duration) {
 	return batch, 0
 }
 
-// runBatch executes every job of a batch concurrently and replies on each
-// job's done channel. A traced job runs on a job-private evaluator copy
-// carrying the trace (evaluator spans nest under the job's op spans); an
-// untraced job runs on the session's shared evaluator, allocating nothing.
+// runBatch executes every job of a batch concurrently and replies through
+// finishJob. A traced job runs on a job-private evaluator copy carrying the
+// trace (evaluator spans nest under the job's op spans); an untraced job
+// runs on the session's shared evaluator, allocating nothing.
+//
+// runBatch is also a fault boundary: the session's keys are rehydrated here
+// when cold (restart or eviction), the "serve.sched.dispatch" failpoint
+// fires here, and a panic anywhere in the batch machinery (as opposed to
+// inside one job's ops, which job.run recovers itself) fails the batch's
+// jobs cleanly instead of killing the daemon.
 func (s *Server) runBatch(batch []*job) {
+	defer func() {
+		if r := recover(); r != nil {
+			err := errf(CodeInternal, "batch dispatch panicked: %v", r)
+			for _, j := range batch {
+				s.finishJob(j, nil, err, false)
+			}
+		}
+	}()
 	if ts := s.tel; ts != nil {
 		ts.batchesRun.Add(1)
 		ts.batchesInflight.Add(1)
 		defer ts.batchesInflight.Add(-1)
+	}
+	if err := faultinject.Eval("serve.sched.dispatch"); err != nil {
+		for _, j := range batch {
+			s.finishJob(j, nil, injectedFaultError(err), false)
+		}
+		return
+	}
+	// All jobs of a batch share a session; hydrate its keys once.
+	ev, bt, err := s.sessionRuntime(batch[0].sess)
+	if err != nil {
+		for _, j := range batch {
+			s.finishJob(j, nil, err, false)
+		}
+		return
 	}
 	var wg sync.WaitGroup
 	for _, j := range batch {
 		wg.Add(1)
 		go func(j *job) {
 			defer wg.Done()
-			ev := j.sess.eval
+			// A job cancelled after it was claimed into this batch (or whose
+			// deadline expired while queued) never executes.
+			if j.cancelled.Load() || j.ctx.Err() != nil {
+				s.finishJob(j, nil, contextError(ctxErrOrCanceled(j.ctx)), false)
+				return
+			}
+			jev := ev
 			if j.tr.Active() {
 				j.queue.End()
-				ev = ev.WithTrace(j.tr, j.root.ID())
+				jev = jev.WithTrace(j.tr, j.root.ID())
 			}
-			ct, err := j.run(s, ev)
-			lat := time.Since(j.enqueued)
-			if ts := s.tel; ts != nil {
-				ts.jobLatency.Observe(lat.Seconds())
-				if err != nil {
-					ts.jobsErr.Add(1)
-				} else {
-					ts.jobsOK.Add(1)
-				}
-			}
-			if j.tr.Active() {
-				j.root.End()
-				if s.cfg.SlowJob > 0 && lat >= s.cfg.SlowJob {
-					s.tel.retainSlowDump(j, lat)
-				}
-			}
-			j.sess.stats.completed(lat, len(j.ops), err)
-			j.done <- jobResult{ct: ct, err: err}
+			ct, err := j.run(s, jev, bt)
+			s.finishJob(j, ct, err, true)
 		}(j)
 	}
 	wg.Wait()
+}
+
+// ctxErrOrCanceled returns the context's error, or context.Canceled when
+// the job was flagged cancelled before its context reported one.
+func ctxErrOrCanceled(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return context.Canceled
 }

@@ -18,6 +18,33 @@
 // every intermediate returns to it, so steady-state serving allocates
 // nothing per job.
 //
+// # Fault tolerance
+//
+// The runtime is built to lose neither tenants nor correctness across
+// restarts and faults:
+//
+//   - Durability: with Config.StoreDir set, every session's uploaded keys
+//     persist to an on-disk store (wire blobs + checksummed manifest,
+//     committed by atomic rename — see store.go). A restarted daemon lists
+//     the manifests (~1 KiB each) and rehydrates a session's keys lazily on
+//     its first batch, so a rolling restart drops no tenant.
+//   - Key-memory governance: Config.SessionQuotaBytes rejects uploads whose
+//     decoded key footprint exceeds the per-tenant budget, and
+//     Config.KeyCacheBytes bounds the total decoded-key memory with an LRU
+//     that evicts cold sessions' keys back to their disk blobs (see
+//     keycache.go). /metrics exports resident bytes, evictions and reloads.
+//   - Lifecycle: SubmitContext threads a context from HTTP ingress through
+//     the scheduler; a job canceled while queued never executes, and an
+//     expired deadline aborts between ops. A panicking op fails only its
+//     job (typed retryable error, bts_job_panics_total, trace dump on
+//     /v1/traces) and quarantines the session after
+//     Config.QuarantineAfter consecutive faults. Drain stops admission and
+//     waits for in-flight work, backing graceful SIGTERM shutdown.
+//   - Every failure carries a typed *Error whose Retryable flag the client
+//     honors with exponential backoff + jitter (see errors.go, client.go);
+//     internal/faultinject failpoints are compiled into the store,
+//     scheduler and op paths to chaos-test all of the above.
+//
 // The package exposes the runtime three ways: the embeddable Server type,
 // an http.Handler speaking the internal/wire format (cmd/btsserve wraps it
 // in a daemon), and a Client for the other side of the socket (used by
@@ -25,6 +52,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -68,6 +96,27 @@ type Config struct {
 	// op. The parameter chain must afford BootstrapParams.MinLevels().
 	Bootstrap *ckks.BootstrapParams
 
+	// StoreDir, when non-empty, enables the durable session store rooted
+	// there: sessions and their uploaded key sets survive restarts (see the
+	// Fault tolerance section of the package docs).
+	StoreDir string
+	// SessionQuotaBytes caps one session's decoded evaluation-key footprint
+	// at upload time (0 = unlimited). Oversized uploads fail with a typed
+	// CodeQuota error, HTTP 413.
+	SessionQuotaBytes int64
+	// KeyCacheBytes bounds the total decoded evaluation-key bytes resident
+	// in memory across sessions (0 = unlimited). Requires StoreDir: evicted
+	// keys reload from disk on the session's next batch.
+	KeyCacheBytes int64
+	// DefaultJobTimeout is the per-job deadline applied when a request does
+	// not carry its own (0 = none). Expiry fails the job with CodeDeadline:
+	// while queued it never executes, mid-job it aborts between ops.
+	DefaultJobTimeout time.Duration
+	// QuarantineAfter is how many consecutive panicking jobs quarantine a
+	// session (further submits fail with CodeQuarantined until the tenant
+	// reopens it). 0 selects the default of 3; negative disables.
+	QuarantineAfter int
+
 	// DisableMetrics turns off the Prometheus registry (GET /metrics and
 	// /debug/vars disappear from the handler) and detaches the engine, pool,
 	// and wire counters. The zero value keeps metrics on: the counters are
@@ -107,6 +156,9 @@ func (cfg *Config) applyDefaults() {
 	if cfg.MaxOpsPerJob <= 0 {
 		cfg.MaxOpsPerJob = 64
 	}
+	if cfg.QuarantineAfter == 0 {
+		cfg.QuarantineAfter = 3
+	}
 }
 
 // Server is the serving runtime: a session registry plus a batching
@@ -118,6 +170,12 @@ type Server struct {
 	codec   *wire.Codec // pooled: decoded ciphertexts recycle through the ctx pool
 	encoder *ckks.Encoder
 	started time.Time
+
+	// store is the durable session store (nil without Config.StoreDir) and
+	// keys the decoded-key LRU governor (always non-nil; unbounded when
+	// KeyCacheBytes is 0).
+	store *Store
+	keys  *keyCache
 
 	// tel is the observability bundle (metrics registry, counters, job
 	// tracer); nil when both metrics and tracing are disabled, and every
@@ -137,6 +195,7 @@ type Server struct {
 	sessions map[string]*session
 	pending  []*job
 	closed   bool
+	draining bool
 	// linger holds, per session with an undersized pending batch, the
 	// deadline until which the dispatcher waits for more of that session's
 	// jobs before dispatching the batch anyway. Tracking it per session —
@@ -147,12 +206,22 @@ type Server struct {
 	wakeAt time.Time  // earliest armed linger wakeup (zero = none armed)
 	cond   *sync.Cond // signals the dispatcher that pending/closed changed
 
+	// batches tracks in-flight batch executions; Drain waits on it after
+	// the queue empties.
+	batches sync.WaitGroup
+
 	dispatcherDone chan struct{}
 }
 
-// New builds a Server and starts its dispatcher.
+// New builds a Server and starts its dispatcher. With Config.StoreDir set,
+// stored sessions are listed (manifests only) and registered for lazy
+// rehydration, so tenants persisted by a previous process are immediately
+// addressable.
 func New(cfg Config) (*Server, error) {
 	cfg.applyDefaults()
+	if cfg.KeyCacheBytes > 0 && cfg.StoreDir == "" {
+		return nil, fmt.Errorf("serve: KeyCacheBytes without StoreDir: evicted keys would be unrecoverable")
+	}
 	ctx, err := ckks.NewContext(cfg.Params)
 	if err != nil {
 		return nil, err
@@ -166,6 +235,7 @@ func New(cfg Config) (*Server, error) {
 		codec:    wire.NewPooledCodec(ctx),
 		encoder:  ckks.NewEncoder(ctx),
 		started:  time.Now(),
+		keys:     newKeyCache(cfg.KeyCacheBytes),
 		sessions: make(map[string]*session),
 		linger:   make(map[*session]time.Time),
 
@@ -193,8 +263,35 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.bootRotations = bt.Rotations()
 	}
+	if cfg.StoreDir != "" {
+		store, err := OpenStore(cfg.StoreDir, ctx)
+		if err != nil {
+			return nil, err
+		}
+		s.store = store
+		manifests, _ := store.List()
+		for _, m := range manifests {
+			sess := s.newSession(m.Name)
+			sess.onDisk = true
+			sess.keyBytes = m.KeyBytes
+			sess.created = time.Unix(m.CreatedUnix, 0)
+			s.sessions[m.Name] = sess
+		}
+	}
 	go s.dispatch()
 	return s, nil
+}
+
+// newSession builds a session shell (no evaluator yet).
+func (s *Server) newSession(name string) *session {
+	sess := &session{name: name, created: time.Now()}
+	if s.tel != nil {
+		// Attach the session's running noise floor once, at open time, so
+		// steady-state jobs keep allocating nothing: evaluator copies share
+		// the floor (and the op counters) by pointer.
+		sess.noise = ckks.NewNoiseFloor()
+	}
+	return sess
 }
 
 // Context returns the shared evaluation context (useful for embedding the
@@ -210,41 +307,90 @@ func (s *Server) BootstrapRotations() []int {
 	return append([]int(nil), s.bootRotations...)
 }
 
+// keySetBytes is the decoded in-memory footprint of an uploaded key set —
+// the quota and LRU accounting unit.
+func keySetBytes(rlk *ckks.SwitchingKey, rtks *ckks.RotationKeySet) int64 {
+	var n int64
+	if rlk != nil {
+		n += rlk.Bytes()
+	}
+	if rtks != nil {
+		for _, k := range rtks.Keys {
+			n += k.Bytes()
+		}
+	}
+	return n
+}
+
+// buildRuntime constructs the evaluator (sharing the session's noise floor)
+// and, when covered, the bootstrapper for a key set.
+func (s *Server) buildRuntime(sess *session, rlk *ckks.SwitchingKey, rtks *ckks.RotationKeySet) (*ckks.Evaluator, *ckks.Bootstrapper, error) {
+	eval := ckks.NewEvaluator(s.ctx, s.encoder, rlk, rtks)
+	if sess.noise != nil {
+		eval = eval.WithNoiseFloor(sess.noise)
+	}
+	var bt *ckks.Bootstrapper
+	if s.cfg.Bootstrap != nil && rlk != nil && rtks != nil && coversRotations(s.ctx, rtks, s.bootRotations) {
+		var err error
+		bt, err = ckks.NewBootstrapper(s.ctx, s.encoder, eval, *s.cfg.Bootstrap)
+		if err != nil {
+			return nil, nil, fmt.Errorf("serve: building bootstrapper for session %q: %w", sess.name, err)
+		}
+	}
+	return eval, bt, nil
+}
+
 // OpenSession registers (or replaces) a named session with the given
 // evaluation keys. rlk may be nil (jobs using "mul" will fail); rtks may be
 // nil (jobs using "rot"/"conj" will fail). When the server was built with
 // bootstrapping enabled and the rotation keys cover the required set, the
 // session also gets a bootstrapper.
+//
+// The upload is checked against Config.SessionQuotaBytes and, when the
+// durable store is configured, persisted before the session goes live —
+// write-through, so a session that was ever open survives a crash.
+// Reopening a session clears its quarantine and resets its fault ledger.
 func (s *Server) OpenSession(name string, rlk *ckks.SwitchingKey, rtks *ckks.RotationKeySet) error {
 	if name == "" {
-		return fmt.Errorf("serve: empty session name")
+		return errf(CodeInvalid, "empty session name")
 	}
-	eval := ckks.NewEvaluator(s.ctx, s.encoder, rlk, rtks)
-	sess := &session{
-		name:    name,
-		eval:    eval,
-		created: time.Now(),
+	if len(name) > maxSessionName {
+		return errf(CodeInvalid, "session name of %d bytes over the %d limit", len(name), maxSessionName)
 	}
-	if s.tel != nil {
-		// Attach the session's running noise floor once, at open time, so
-		// steady-state jobs keep allocating nothing: evaluator copies share
-		// the floor (and the op counters) by pointer.
-		sess.noise = ckks.NewNoiseFloor()
-		sess.eval = eval.WithNoiseFloor(sess.noise)
-	}
-	if s.cfg.Bootstrap != nil && rlk != nil && rtks != nil && coversRotations(s.ctx, rtks, s.bootRotations) {
-		bt, err := ckks.NewBootstrapper(s.ctx, s.encoder, sess.eval, *s.cfg.Bootstrap)
-		if err != nil {
-			return fmt.Errorf("serve: building bootstrapper for session %q: %w", name, err)
+	keyBytes := keySetBytes(rlk, rtks)
+	if q := s.cfg.SessionQuotaBytes; q > 0 && keyBytes > q {
+		if s.tel != nil {
+			s.tel.quotaRejections.Add(1)
 		}
-		sess.bt = bt
+		return errf(CodeQuota, "session %q key set of %d bytes exceeds the %d-byte tenant quota", name, keyBytes, q)
+	}
+	sess := s.newSession(name)
+	eval, bt, err := s.buildRuntime(sess, rlk, rtks)
+	if err != nil {
+		return err
+	}
+	sess.eval = eval
+	sess.bt = bt
+	sess.bootstrappable = bt != nil
+	sess.keyBytes = keyBytes
+	if s.store != nil {
+		if err := s.store.Save(name, rlk, rtks, keyBytes); err != nil {
+			return err
+		}
+		sess.onDisk = true
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return fmt.Errorf("serve: server closed")
+	if s.closed || s.draining {
+		s.mu.Unlock()
+		return errServerClosed
 	}
+	old := s.sessions[name]
 	s.sessions[name] = sess
+	s.mu.Unlock()
+	if old != nil {
+		s.keys.drop(old)
+	}
+	s.evictVictims(s.keys.touch(sess, keyBytes))
 	return nil
 }
 
@@ -260,12 +406,20 @@ func coversRotations(ctx *ckks.Context, rtks *ckks.RotationKeySet, rots []int) b
 	return ok
 }
 
-// CloseSession removes a session. In-flight jobs finish; queued jobs for the
-// session fail when dispatched.
+// CloseSession removes a session, in memory and (when the store is
+// configured) on disk. In-flight jobs finish; queued jobs for the session
+// fail when dispatched.
 func (s *Server) CloseSession(name string) {
 	s.mu.Lock()
+	sess := s.sessions[name]
 	delete(s.sessions, name)
 	s.mu.Unlock()
+	if sess != nil {
+		s.keys.drop(sess)
+	}
+	if s.store != nil {
+		_ = s.store.Delete(name)
+	}
 }
 
 // session lookup helper.
@@ -274,27 +428,95 @@ func (s *Server) session(name string) (*session, error) {
 	defer s.mu.Unlock()
 	sess, ok := s.sessions[name]
 	if !ok {
-		return nil, fmt.Errorf("serve: unknown session %q", name)
+		return nil, errf(CodeInvalid, "unknown session %q", name)
 	}
 	return sess, nil
 }
 
-// Submit enqueues a job and blocks until its result. The inputs remain owned
-// by the caller (the HTTP layer returns pooled inputs to the context pool
-// after the response is written); the returned ciphertext is pooled and the
-// caller should PutCiphertext it once serialized.
+// sessionRuntime returns the session's evaluator and bootstrapper,
+// rehydrating the decoded keys from the durable store when the session is
+// cold (restart, or evicted under key-memory pressure), and touches the
+// key-cache LRU. Called by the dispatcher once per batch.
+func (s *Server) sessionRuntime(sess *session) (*ckks.Evaluator, *ckks.Bootstrapper, error) {
+	if ev, bt := sess.runtime(); ev != nil {
+		s.evictVictims(s.keys.touch(sess, sess.keyFootprint()))
+		return ev, bt, nil
+	}
+	sess.hydMu.Lock()
+	defer sess.hydMu.Unlock()
+	if ev, bt := sess.runtime(); ev != nil { // hydrated while we waited
+		return ev, bt, nil
+	}
+	if s.store == nil {
+		return nil, nil, errf(CodeInternal, "session %q has no resident keys and no durable store", sess.name)
+	}
+	rlk, rtks, keyBytes, err := s.store.Load(sess.name)
+	if err != nil {
+		return nil, nil, err
+	}
+	eval, bt, err := s.buildRuntime(sess, rlk, rtks)
+	if err != nil {
+		return nil, nil, errf(CodeStore, "rehydrating session %q: %v", sess.name, err)
+	}
+	sess.mu.Lock()
+	sess.eval = eval
+	sess.bt = bt
+	sess.bootstrappable = bt != nil
+	sess.keyBytes = keyBytes
+	sess.onDisk = true
+	sess.mu.Unlock()
+	s.keys.reloads.Add(1)
+	s.evictVictims(s.keys.touch(sess, keyBytes))
+	return eval, bt, nil
+}
+
+// evictVictims drops the decoded keys of sessions the LRU selected.
+func (s *Server) evictVictims(victims []*session) {
+	for _, v := range victims {
+		v.evict()
+	}
+}
+
+// Submit enqueues a job and blocks until its result, with no deadline
+// beyond Config.DefaultJobTimeout. See SubmitContext.
 func (s *Server) Submit(sessionName string, ops []Op, inputs []*ckks.Ciphertext) (*ckks.Ciphertext, error) {
+	return s.SubmitContext(context.Background(), sessionName, ops, inputs)
+}
+
+// SubmitContext enqueues a job and blocks until its result, the context's
+// cancellation, or its deadline. The inputs remain owned by the caller (the
+// HTTP layer returns pooled inputs to the context pool after the response is
+// written); the returned ciphertext is pooled and the caller should
+// PutCiphertext it once serialized.
+//
+// Cancellation semantics: a job canceled while still queued never executes
+// (it is unlinked from the queue, or skipped at dispatch) and SubmitContext
+// returns immediately with CodeCanceled/CodeDeadline. Once the job is
+// executing, SubmitContext waits for it to finish — the inputs are in use —
+// then discards the result and reports the context error.
+func (s *Server) SubmitContext(ctx context.Context, sessionName string, ops []Op, inputs []*ckks.Ciphertext) (*ckks.Ciphertext, error) {
 	sess, err := s.session(sessionName)
 	if err != nil {
 		return nil, err
+	}
+	if sess.isQuarantined() {
+		return nil, errf(CodeQuarantined, "session %q is quarantined after repeated faults; reopen it to clear", sessionName)
 	}
 	if err := validateOps(ops, len(inputs), s.cfg.MaxOpsPerJob); err != nil {
 		return nil, err
 	}
 	if len(inputs) == 0 {
-		return nil, fmt.Errorf("serve: job carries no input ciphertexts")
+		return nil, errf(CodeInvalid, "job carries no input ciphertexts")
+	}
+	if t := s.cfg.DefaultJobTimeout; t > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, t)
+			defer cancel()
+		}
 	}
 	j := &job{
+		ctx:      ctx,
 		sess:     sess,
 		ops:      ops,
 		inputs:   inputs,
@@ -311,25 +533,124 @@ func (s *Server) Submit(sessionName string, ops []Op, inputs []*ckks.Ciphertext)
 		j.queue = j.tr.Span(spanQueue, j.root.ID())
 	}
 	s.mu.Lock()
-	if s.closed {
+	if s.closed || s.draining {
 		s.mu.Unlock()
-		return nil, fmt.Errorf("serve: server closed")
+		return nil, errServerClosed
 	}
 	if len(s.pending) >= s.cfg.MaxQueue {
 		s.mu.Unlock()
-		return nil, fmt.Errorf("serve: queue full (%d jobs)", s.cfg.MaxQueue)
+		return nil, errf(CodeQueueFull, "queue full (%d jobs)", s.cfg.MaxQueue)
 	}
 	s.pending = append(s.pending, j)
 	sess.stats.enqueued()
 	s.cond.Signal()
 	s.mu.Unlock()
 
+	select {
+	case r := <-j.done:
+		return r.ct, r.err
+	case <-ctx.Done():
+		return s.cancelJob(j)
+	}
+}
+
+// cancelJob handles a submitter's context expiring while its job is in the
+// system. Queued jobs are unlinked (or, if already claimed into a batch,
+// marked so the batch worker skips execution); a job already executing runs
+// to completion — its inputs are in use — and the result is discarded.
+func (s *Server) cancelJob(j *job) (*ckks.Ciphertext, error) {
+	ctxErr := contextError(j.ctx.Err())
+	// Fast path: still in the pending queue — unlink it so it never
+	// dispatches (and frees its queue slot immediately).
+	s.mu.Lock()
+	for i, q := range s.pending {
+		if q == j {
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			s.mu.Unlock()
+			s.finishJob(j, nil, ctxErr, false)
+			r := <-j.done
+			return r.ct, r.err
+		}
+	}
+	s.mu.Unlock()
+	// Already claimed by a batch: if the worker has not started executing,
+	// flag it to skip; either way the worker delivers, so wait for it.
+	j.cancelled.Store(true)
 	r := <-j.done
-	return r.ct, r.err
+	if r.err == nil {
+		// The job finished under us; the caller is gone, so recycle the
+		// result and surface the context error.
+		s.ctx.PutCiphertext(r.ct)
+		return nil, ctxErr
+	}
+	return nil, r.err
+}
+
+// contextError maps a context error onto the serving taxonomy.
+func contextError(err error) *Error {
+	if err == context.DeadlineExceeded {
+		return errf(CodeDeadline, "job deadline exceeded")
+	}
+	return errf(CodeCanceled, "job canceled by submitter")
+}
+
+// Drain stops admission (submits and session opens fail with a retryable
+// CodeUnavailable error) and waits until the queue is empty and every
+// in-flight batch has completed, or until ctx expires — then closes the
+// server either way. A fully drained shutdown returns nil; an expired ctx
+// returns its error with the abandoned jobs failed cleanly by Close.
+//
+// There is nothing to flush: the session store is write-through (sessions
+// persist at open), so a drained daemon can be killed the moment Drain
+// returns.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.Close()
+		return nil
+	}
+	s.draining = true
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for {
+			s.mu.Lock()
+			empty := len(s.pending) == 0
+			s.mu.Unlock()
+			if empty {
+				s.batches.Wait()
+				return
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+		}
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	s.Close()
+	return err
+}
+
+// Draining reports whether the server is refusing new work.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
 }
 
 // Close stops the dispatcher, failing queued jobs. Open sessions are
-// discarded. Close blocks until the dispatcher has drained.
+// discarded from memory (their durable state, if any, remains on disk).
+// Close blocks until the dispatcher has drained.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {

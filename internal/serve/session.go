@@ -1,7 +1,6 @@
 package serve
 
 import (
-	"errors"
 	"math"
 	"sort"
 	"sync"
@@ -10,18 +9,118 @@ import (
 	"bts/internal/ckks"
 )
 
-var errServerClosed = errors.New("serve: server closed")
+var errServerClosed = &Error{Code: CodeUnavailable, Retryable: true, Msg: "server closed"}
 
 // session is one tenant: a name, the evaluator built from the tenant's
 // uploaded evaluation keys, an optional bootstrapper, a running noise floor
 // (when telemetry is on), and statistics.
+//
+// With the durable store configured, the evaluator and bootstrapper are
+// rebuildable state: eviction under key-memory pressure drops them (the
+// decoded keys are what costs gigabytes; the wire blobs stay on disk) and
+// the scheduler rehydrates them on the session's next batch. A session
+// reloaded after a daemon restart starts in the evicted state and hydrates
+// lazily the same way. Everything else — statistics, the noise floor, the
+// quarantine state — is cheap and lives for the session's whole life.
 type session struct {
 	name    string
-	eval    *ckks.Evaluator
-	bt      *ckks.Bootstrapper
-	noise   *ckks.NoiseFloor // nil when telemetry is disabled
 	created time.Time
+	noise   *ckks.NoiseFloor // nil when telemetry is disabled
 	stats   sessionStats
+
+	// hydMu serializes rehydration (store read + key decode) so concurrent
+	// batches of an evicted session load its keys exactly once. Never held
+	// together with mu.
+	hydMu sync.Mutex
+
+	// mu guards the rebuildable runtime state and the fault ledger. It is
+	// held only for quick field access, never across I/O or key decoding.
+	mu             sync.Mutex
+	eval           *ckks.Evaluator // nil while evicted or not yet hydrated
+	bt             *ckks.Bootstrapper
+	keyBytes       int64           // decoded key-set footprint (0 = keyless session)
+	onDisk         bool            // a durable manifest backs this session
+	bootstrappable bool            // sticky across eviction
+	opsBase        ckks.OpCounters // op mix accumulated before the last eviction
+	quarantined    bool
+	faults         int // consecutive panicking jobs
+}
+
+// runtime returns the session's evaluator and bootstrapper (nil, nil while
+// evicted).
+func (sess *session) runtime() (*ckks.Evaluator, *ckks.Bootstrapper) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.eval, sess.bt
+}
+
+// counters returns the session's lifetime op mix: the tally folded in at
+// evictions plus the current evaluator's live counters.
+func (sess *session) counters() ckks.OpCounters {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	c := sess.opsBase
+	if sess.eval != nil {
+		c = c.Add(sess.eval.Counters())
+	}
+	return c
+}
+
+// keyFootprint reports the decoded key-set byte footprint.
+func (sess *session) keyFootprint() int64 {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.keyBytes
+}
+
+// idle reports whether no job of the session is queued or in flight — the
+// eviction-safety predicate.
+func (sess *session) idle() bool {
+	sess.stats.mu.Lock()
+	defer sess.stats.mu.Unlock()
+	return sess.stats.queueDepth == 0
+}
+
+// evict drops the decoded keys (evaluator + bootstrapper), folding the
+// evaluator's op tally into the base so counters stay monotonic. Jobs that
+// already captured the evaluator pointer keep using it safely — the key
+// material is immutable — but new batches will rehydrate from disk.
+func (sess *session) evict() {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.eval == nil {
+		return
+	}
+	sess.opsBase = sess.opsBase.Add(sess.eval.Counters())
+	sess.eval = nil
+	sess.bt = nil
+}
+
+// noteFault records a panicking job; after limit consecutive faults the
+// session is quarantined (limit <= 0 disables). Reports whether the
+// session is now quarantined.
+func (sess *session) noteFault(limit int) bool {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	sess.faults++
+	if limit > 0 && sess.faults >= limit {
+		sess.quarantined = true
+	}
+	return sess.quarantined
+}
+
+// noteSuccess resets the consecutive-fault counter.
+func (sess *session) noteSuccess() {
+	sess.mu.Lock()
+	sess.faults = 0
+	sess.mu.Unlock()
+}
+
+// isQuarantined reports the quarantine flag.
+func (sess *session) isQuarantined() bool {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.quarantined
 }
 
 // latSamples is the size of the per-session latency reservoir: a ring buffer
@@ -89,7 +188,9 @@ func (st *sessionStats) completed(latency time.Duration, ops int, err error) {
 // evaluator's primitive-op tally (the same counters /metrics exports as
 // bts_session_ops_total); NoiseFloorBits is the minimum noise margin
 // observed on the session, omitted until a job has run (or when telemetry
-// is disabled).
+// is disabled). Resident reports whether the session's decoded keys are in
+// memory right now (false after eviction or before a restarted daemon's
+// first use); Durable whether the session survives a restart.
 type SessionStats struct {
 	Session        string   `json:"session"`
 	Jobs           uint64   `json:"jobs"`
@@ -99,6 +200,10 @@ type SessionStats struct {
 	Batches        uint64   `json:"batches"`
 	MaxBatch       int      `json:"max_batch"`
 	Bootstrappable bool     `json:"bootstrappable"`
+	Resident       bool     `json:"resident"`
+	Durable        bool     `json:"durable"`
+	Quarantined    bool     `json:"quarantined"`
+	KeyBytes       int64    `json:"key_bytes"`
 	LatWindow      int      `json:"lat_window"`
 	LatSamples     int      `json:"lat_samples"`
 	P50Ms          float64  `json:"p50_ms"`
@@ -141,6 +246,7 @@ func opMixOf(c ckks.OpCounters) OpMix {
 type Stats struct {
 	UptimeSec float64        `json:"uptime_sec"`
 	Workers   int            `json:"workers"`
+	Draining  bool           `json:"draining"`
 	Sessions  []SessionStats `json:"sessions"`
 }
 
@@ -149,15 +255,14 @@ func (sess *session) snapshot() SessionStats {
 	st := &sess.stats
 	st.mu.Lock()
 	out := SessionStats{
-		Session:        sess.name,
-		Jobs:           st.jobs,
-		Ops:            st.ops,
-		Errors:         st.errors,
-		QueueDepth:     st.queueDepth,
-		Batches:        st.batches,
-		MaxBatch:       st.maxBatch,
-		Bootstrappable: sess.bt != nil,
-		LatWindow:      latSamples,
+		Session:    sess.name,
+		Jobs:       st.jobs,
+		Ops:        st.ops,
+		Errors:     st.errors,
+		QueueDepth: st.queueDepth,
+		Batches:    st.batches,
+		MaxBatch:   st.maxBatch,
+		LatWindow:  latSamples,
 	}
 	// Clamp on the uint64 side: converting latN to int first would go
 	// negative once the counter passes the int range (and on 32-bit hosts a
@@ -170,7 +275,19 @@ func (sess *session) snapshot() SessionStats {
 	samples := append([]float64(nil), st.lat[:n]...)
 	st.mu.Unlock()
 
-	out.OpMix = opMixOf(sess.eval.Counters())
+	sess.mu.Lock()
+	out.Bootstrappable = sess.bootstrappable
+	out.Resident = sess.eval != nil
+	out.Durable = sess.onDisk
+	out.Quarantined = sess.quarantined
+	out.KeyBytes = sess.keyBytes
+	mix := sess.opsBase
+	if sess.eval != nil {
+		mix = mix.Add(sess.eval.Counters())
+	}
+	sess.mu.Unlock()
+
+	out.OpMix = opMixOf(mix)
 	if sess.noise != nil {
 		if bits := sess.noise.MinBits(); !math.IsInf(bits, 1) {
 			out.NoiseFloorBits = &bits
@@ -207,6 +324,7 @@ func Percentile(sorted []float64, p float64) float64 {
 // Stats snapshots every session, sorted by name for stable output.
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
+	draining := s.draining
 	sessions := make([]*session, 0, len(s.sessions))
 	for _, sess := range s.sessions {
 		sessions = append(sessions, sess)
@@ -216,6 +334,7 @@ func (s *Server) Stats() Stats {
 	out := Stats{
 		UptimeSec: s.Uptime().Seconds(),
 		Workers:   s.ctx.Workers(),
+		Draining:  draining,
 	}
 	for _, sess := range sessions {
 		out.Sessions = append(out.Sessions, sess.snapshot())

@@ -30,13 +30,13 @@ var (
 	}
 )
 
-// maxRetainedDumps bounds the slow-job trace dumps the server keeps (newest
+// maxRetainedDumps bounds the job trace dumps the server keeps (newest
 // first); older dumps fall off.
 const maxRetainedDumps = 16
 
 // telemetryState is the server's observability bundle: the metrics registry
 // and every counter the scheduler and job runner bump, plus the job tracer
-// and its retained slow-job dumps. It exists (s.tel != nil) whenever metrics
+// and its retained job dumps. It exists (s.tel != nil) whenever metrics
 // or tracing is enabled; reg is nil when metrics are disabled, tracer is nil
 // when no slow-job threshold is set.
 type telemetryState struct {
@@ -50,9 +50,12 @@ type telemetryState struct {
 	wire     telemetry.WireStats
 
 	jobsOK, jobsErr atomic.Int64
+	jobsCancelled   atomic.Int64 // canceled or deadline-expired before producing a result
 	batchesRun      atomic.Int64
 	batchesInflight atomic.Int64
 	slowJobs        atomic.Int64
+	quotaRejections atomic.Int64 // uploads rejected by SessionQuotaBytes
+	quarantines     atomic.Int64 // sessions quarantined after repeated faults
 
 	batchSize  *telemetry.Histogram // jobs per dispatched batch
 	lingerWait *telemetry.Histogram // seconds undersized batches lingered
@@ -64,6 +67,12 @@ type telemetryState struct {
 	opMu  sync.Mutex
 	opLat map[opLatKey]*telemetry.Histogram
 
+	// panics counts recovered job panics per op kind
+	// (bts_job_panics_total{op=...}); panics are rare, so a mutex-guarded
+	// map beats pre-sizing a histogram per kind.
+	panicMu sync.Mutex
+	panics  map[OpKind]int64
+
 	dumpMu sync.Mutex
 	dumps  []SlowJobDump
 }
@@ -73,13 +82,16 @@ type opLatKey struct {
 	level int
 }
 
-// SlowJobDump is one retained slow-job trace: the job's identity and its
-// reconstructed span tree (telemetry.Tracer.RenderTree), served by
-// GET /v1/traces.
+// SlowJobDump is one retained job trace: the job's identity, why it was
+// retained ("slow" for jobs over the slow-job threshold, "panic" for jobs
+// whose op panicked), and its reconstructed span tree
+// (telemetry.Tracer.RenderTree), served by GET /v1/traces.
 type SlowJobDump struct {
 	Session   string  `json:"session"`
 	Ops       int     `json:"ops"`
 	LatencyMs float64 `json:"latency_ms"`
+	Reason    string  `json:"reason"`
+	Error     string  `json:"error,omitempty"`
 	Tree      string  `json:"tree"`
 }
 
@@ -91,6 +103,7 @@ func newTelemetryState(cfg *Config) *telemetryState {
 		}),
 		jobLatency: telemetry.NewHistogram(telemetry.LatencyBuckets()),
 		opLat:      make(map[opLatKey]*telemetry.Histogram),
+		panics:     make(map[OpKind]int64),
 	}
 	if cfg.SlowJob > 0 {
 		ts.tracer = telemetry.NewTracer(cfg.TraceBuffer)
@@ -103,12 +116,13 @@ func newTelemetryState(cfg *Config) *telemetryState {
 
 // registerCollectors wires every metric source into the registry, in a fixed
 // order so scrapes render stably: context (engine + pools), wire codec,
-// scheduler, per-session series, per-op latency histograms.
+// scheduler, key cache, per-session series, per-op latency histograms.
 func (s *Server) registerCollectors() {
 	reg := s.tel.reg
 	reg.Register(s.tel.ctxStats.Collect)
 	reg.Register(s.tel.wire.Collect)
 	reg.Register(s.tel.collectScheduler)
+	reg.Register(s.collectKeyCache)
 	reg.Register(s.collectSessions)
 	reg.Register(s.tel.collectOpLatency)
 }
@@ -118,9 +132,26 @@ func (ts *telemetryState) collectScheduler(w *telemetry.Writer) {
 		[]telemetry.Label{{Name: "result", Value: "ok"}}, float64(ts.jobsOK.Load()))
 	w.Counter("bts_jobs_total", "Jobs completed.",
 		[]telemetry.Label{{Name: "result", Value: "error"}}, float64(ts.jobsErr.Load()))
+	w.Counter("bts_jobs_total", "Jobs completed.",
+		[]telemetry.Label{{Name: "result", Value: "canceled"}}, float64(ts.jobsCancelled.Load()))
 	w.Counter("bts_batches_total", "Batches dispatched.", nil, float64(ts.batchesRun.Load()))
 	w.Gauge("bts_batches_inflight", "Batches currently executing.", nil, float64(ts.batchesInflight.Load()))
 	w.Counter("bts_slow_jobs_total", "Jobs that exceeded the slow-job threshold.", nil, float64(ts.slowJobs.Load()))
+	w.Counter("bts_quota_rejections_total", "Key uploads rejected by the per-tenant quota.", nil, float64(ts.quotaRejections.Load()))
+	w.Counter("bts_session_quarantines_total", "Sessions quarantined after repeated job faults.", nil, float64(ts.quarantines.Load()))
+	ts.panicMu.Lock()
+	kinds := make([]OpKind, 0, len(ts.panics))
+	counts := make(map[OpKind]int64, len(ts.panics))
+	for k, n := range ts.panics {
+		kinds = append(kinds, k)
+		counts[k] = n
+	}
+	ts.panicMu.Unlock()
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		w.Counter("bts_job_panics_total", "Job op panics recovered, per op kind.",
+			[]telemetry.Label{{Name: "op", Value: string(k)}}, float64(counts[k]))
+	}
 	w.Histogram("bts_batch_size", "Jobs per dispatched batch.", nil, ts.batchSize)
 	w.Histogram("bts_linger_wait_seconds", "Time undersized batches lingered for company before dispatch.", nil, ts.lingerWait)
 	w.Histogram("bts_job_latency_seconds", "Submit-to-completion job latency (queueing included).", nil, ts.jobLatency)
@@ -129,9 +160,18 @@ func (ts *telemetryState) collectScheduler(w *telemetry.Writer) {
 	}
 }
 
+// collectKeyCache renders the decoded-key governance series: resident bytes
+// under LRU control, evictions to disk, and reloads from it.
+func (s *Server) collectKeyCache(w *telemetry.Writer) {
+	w.Gauge("bts_key_resident_bytes", "Decoded evaluation-key bytes resident under LRU control.", nil, float64(s.keys.residentBytes()))
+	w.Counter("bts_key_evictions_total", "Session key sets evicted to disk under key-memory pressure.", nil, float64(s.keys.evictions.Load()))
+	w.Counter("bts_key_reloads_total", "Session key sets rehydrated from the durable store.", nil, float64(s.keys.reloads.Load()))
+}
+
 // collectSessions renders the queue gauge plus the per-session series:
 // serving counters, the evaluator's op mix (the same counters /v1/stats
-// reports as op_mix), and the running noise floor.
+// reports as op_mix, monotonic across evictions), residency, and the
+// running noise floor.
 func (s *Server) collectSessions(w *telemetry.Writer) {
 	s.mu.Lock()
 	depth := len(s.pending)
@@ -153,7 +193,15 @@ func (s *Server) collectSessions(w *telemetry.Writer) {
 		w.Counter("bts_session_errors_total", "Failed jobs per session.", sl, float64(errs))
 		w.Gauge("bts_session_queue_depth", "Jobs submitted but not completed, per session.", sl, float64(qd))
 
-		mix := sess.eval.Counters()
+		sess.mu.Lock()
+		resident := sess.eval != nil
+		mix := sess.opsBase
+		if sess.eval != nil {
+			mix = mix.Add(sess.eval.Counters())
+		}
+		sess.mu.Unlock()
+		w.Gauge("bts_session_keys_resident", "Whether the session's decoded keys are in memory (1) or evicted/cold (0).",
+			sl, boolGauge(resident))
 		for _, kv := range []struct {
 			kind string
 			v    int64
@@ -173,6 +221,13 @@ func (s *Server) collectSessions(w *telemetry.Writer) {
 				sl, sess.noise.MinBits())
 		}
 	}
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func (ts *telemetryState) collectOpLatency(w *telemetry.Writer) {
@@ -234,16 +289,31 @@ func (ts *telemetryState) observeOp(kind OpKind, level int, d time.Duration) {
 	h.Observe(d.Seconds())
 }
 
-// retainSlowDump renders and retains the span tree of a job that exceeded
-// the slow-job threshold.
-func (ts *telemetryState) retainSlowDump(j *job, lat time.Duration) {
+// observePanic counts a recovered job panic against its op kind.
+func (ts *telemetryState) observePanic(kind OpKind) {
+	ts.panicMu.Lock()
+	ts.panics[kind]++
+	ts.panicMu.Unlock()
+}
+
+// retainDump renders and retains the span tree of a job worth keeping: one
+// that exceeded the slow-job threshold (reason "slow") or whose op panicked
+// (reason "panic", with the typed error attached). Caller must have checked
+// ts.tracer != nil.
+func (ts *telemetryState) retainDump(j *job, lat time.Duration, reason string, err error) {
 	dump := SlowJobDump{
 		Session:   j.sess.name,
 		Ops:       len(j.ops),
 		LatencyMs: lat.Seconds() * 1e3,
+		Reason:    reason,
 		Tree:      ts.tracer.RenderTree(j.tr.ID()),
 	}
-	ts.slowJobs.Add(1)
+	if err != nil {
+		dump.Error = err.Error()
+	}
+	if reason == "slow" {
+		ts.slowJobs.Add(1)
+	}
 	ts.dumpMu.Lock()
 	ts.dumps = append(ts.dumps, SlowJobDump{})
 	copy(ts.dumps[1:], ts.dumps)
@@ -254,8 +324,9 @@ func (ts *telemetryState) retainSlowDump(j *job, lat time.Duration) {
 	ts.dumpMu.Unlock()
 }
 
-// SlowJobDumps returns the retained slow-job trace dumps, newest first
-// (empty slice — never nil — when tracing is disabled or nothing was slow).
+// SlowJobDumps returns the retained job trace dumps, newest first
+// (empty slice — never nil — when tracing is disabled or nothing was
+// retained).
 func (s *Server) SlowJobDumps() []SlowJobDump {
 	out := []SlowJobDump{}
 	if s.tel == nil {
