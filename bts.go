@@ -88,17 +88,27 @@
 //
 //   - internal/serve is the batch scheduler: clients open named sessions by
 //     uploading evaluation keys (never the secret key) and submit jobs —
-//     programs of Add/Sub/Mult/Rotate/Conjugate/Rescale/Bootstrap ops. The
-//     dispatcher groups compatible jobs (same session) into batches, runs up
-//     to Parallel batches concurrently with one goroutine per job, and draws
+//     programs of Add/Sub/Mult/Rotate/Conjugate/Rescale/Bootstrap ops. A
+//     job addresses its data either as a flat slot list (the original wire
+//     form) or as a DAG over named per-session ciphertext registers
+//     ("$x", "$tmp0"): register values persist server-side across requests,
+//     so a multi-request pipeline uploads and downloads ciphertexts only at
+//     its boundary. Every job compiles to a dependency-staged program —
+//     independent ops run concurrently within a stage, and same-register
+//     rotation fans are auto-hoisted through one shared key-switch
+//     decomposition, bit-identically to the naive path. The dispatcher
+//     groups compatible jobs (same session) into batches, runs up to
+//     Parallel batches concurrently with one goroutine per job, and draws
 //     every result from the context's pooled ciphertext allocator
 //     (Context.GetCiphertext/PutCiphertext), so steady-state serving
-//     allocates nothing. Per-session statistics (jobs, ops, queue depth,
-//     p50/p90/p99 latency) are exported as JSON.
+//     allocates nothing. Per-session statistics (jobs, ops, registers,
+//     queue depth, p50/p90/p99 latency) are exported as JSON.
 //
 //   - cmd/btsserve wraps the scheduler in an HTTP daemon speaking the wire
 //     format, and `btsbench -experiment serve -clients K` is the matching
-//     load generator, reporting ops/sec and latency percentiles as JSON.
+//     load generator, reporting ops/sec and latency percentiles as JSON;
+//     `btsbench -experiment dag` measures the register model's wire and
+//     key-switch savings against per-op round trips.
 //
 // # Observability
 //
@@ -166,6 +176,12 @@
 //     resident decoded keys with an LRU over idle sessions, evicting cold
 //     key sets to disk and reloading on demand. bts_key_resident_bytes,
 //     bts_key_evictions_total and bts_key_reloads_total track the cache.
+//     Ciphertext registers ride the same machinery: an evicted or drained
+//     session spills its registers to the store (CRC-checked, atomic
+//     rename) and the next DAG job rehydrates them transparently;
+//     bts_register_bytes, bts_register_spills_total and
+//     bts_register_reloads_total track that lifecycle, and register bytes
+//     count against the same tenant quota as keys.
 //
 //   - Request lifecycle. A context.Context follows each job from HTTP
 //     handler through queue to batch execution: per-job deadlines

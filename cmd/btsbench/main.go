@@ -2,7 +2,7 @@
 // evaluation section and prints them as text tables (the same rows the root
 // benchmark harness reports). Usage:
 //
-//	btsbench [-experiment all|table1|fig1|fig2|fig3b|table3|table4|fig6|fig7|fig8|fig9|fig10|table5|table6|slowdown|speedup|hoisting|sharding|bootstrap|table2|serve] [-workers N]
+//	btsbench [-experiment all|table1|fig1|fig2|fig3b|table3|table4|fig6|fig7|fig8|fig9|fig10|table5|table6|slowdown|speedup|hoisting|sharding|bootstrap|table2|serve|dag] [-workers N]
 //	         [-clients K] [-duration 5s] [-full] [-cpuprofile f] [-memprofile f]
 //
 // Several experiments are special: instead of replaying the paper's model
@@ -59,6 +59,13 @@
 // add job over wire-format ciphertexts), decrypts and verifies the final
 // result of every tenant, and prints a JSON throughput/latency report
 // (jobs/s, HE ops/s, p50/p90/p99 latency) to stdout.
+//
+// The dag experiment compares a chained rotation-fan pipeline submitted as
+// one register-addressed DAG job against the per-op round-trip equivalent:
+// it gates on the DAG run moving ≥5x fewer wire bytes, spending ≥1.5x fewer
+// key-switch decompositions (scheduler auto-hoisting), and producing a
+// bit-identical ciphertext. Like serve, it accepts -addr to drive an
+// already-running daemon.
 package main
 
 import (
@@ -153,6 +160,10 @@ func main() {
 	}
 	if *which == "serve" {
 		serveBench(*clients, *duration, *workers, *serveAddr)
+		ran = true
+	}
+	if *which == "dag" {
+		dagBench(*workers, *serveAddr)
 		ran = true
 	}
 	if !ran {

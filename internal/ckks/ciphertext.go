@@ -102,6 +102,16 @@ func (ctx *Context) PutCiphertext(ct *Ciphertext) {
 // Pooled reports whether ct came from a context's ciphertext pool.
 func (ct *Ciphertext) Pooled() bool { return ct.owner != nil }
 
+// Bytes reports the ciphertext's live coefficient footprint: two R_Q
+// polynomials of level+1 residue rows each, 8 bytes per coefficient. This is
+// the accounting unit the serving layer charges against a tenant's quota for
+// server-resident ciphertext registers — the dual of SwitchingKey.Bytes for
+// key material.
+func (ct *Ciphertext) Bytes() int64 {
+	n := int64(len(ct.C0.Coeffs[0]))
+	return 2 * int64(ct.Level+1) * n * 8
+}
+
 // CopyNew returns a deep copy of ct as a plain (non-pooled) ciphertext.
 func (ct *Ciphertext) CopyNew(ctx *Context) *Ciphertext {
 	out := ctx.NewCiphertext(ct.Level, ct.Scale)

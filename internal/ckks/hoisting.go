@@ -261,6 +261,24 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, rotations []int) map[int]*Cip
 	return out
 }
 
+// RotateWithDecomposition applies a single rotation of ct through a prepared
+// decomposition (DecomposeNTT of the same ciphertext, which must still be at
+// the decomposition's level). The output is bit-identical to Rotate(ct, r).
+// This is the entry point for callers that manage decomposition reuse
+// themselves — the serving scheduler shares one decomposition across every
+// rotation fan of a batch that reads the same ciphertext register, where
+// RotateHoisted's one-call-per-fan shape would rebuild it per job. Missing
+// rotation keys panic with the same diagnostics as Rotate.
+func (ev *Evaluator) RotateWithDecomposition(ct *Ciphertext, r int, hd *HoistedDecomposition) *Ciphertext {
+	if hd.level != ct.Level {
+		panic(fmt.Sprintf("ckks: decomposition at level %d applied to ciphertext at level %d", hd.level, ct.Level))
+	}
+	if g := ev.ctx.RingQ.GaloisElement(r); g != 1 {
+		ev.rotationKey(g)
+	}
+	return ev.rotateHoisted(ct, r, hd)
+}
+
 // rotateHoisted applies one rotation using a prepared decomposition of ct.
 func (ev *Evaluator) rotateHoisted(ct *Ciphertext, r int, hd *HoistedDecomposition) *Ciphertext {
 	rq := ev.ctx.RingQ

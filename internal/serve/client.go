@@ -9,6 +9,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"bts/internal/ckks"
@@ -78,6 +79,38 @@ type Client struct {
 	hc    *http.Client
 	ctx   *ckks.Context
 	codec *wire.Codec
+
+	// wireOut counts POST request payload bytes (per attempt — a retried
+	// upload is paid twice on the wire and counted twice); wireIn counts job
+	// result envelope bytes. Together they measure the ciphertext traffic a
+	// workload moves, the numerator/denominator of the DAG bench's
+	// flat-vs-DAG comparison.
+	wireOut atomic.Int64
+	wireIn  atomic.Int64
+}
+
+// WireBytes reports the bytes received in job results and sent in request
+// payloads since construction (or the last ResetWireBytes).
+func (c *Client) WireBytes() (in, out int64) {
+	return c.wireIn.Load(), c.wireOut.Load()
+}
+
+// ResetWireBytes zeroes the wire-byte counters.
+func (c *Client) ResetWireBytes() {
+	c.wireIn.Store(0)
+	c.wireOut.Store(0)
+}
+
+// countingReader counts bytes read through it into n.
+type countingReader struct {
+	r io.Reader
+	n *atomic.Int64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n.Add(int64(n))
+	return n, err
 }
 
 // FetchParams asks the daemon at base (e.g. "http://127.0.0.1:8631") for its
@@ -218,6 +251,7 @@ func (c *Client) post(ctx context.Context, url, contentType string, body []byte,
 		return false, err
 	}
 	req.Header.Set("Content-Type", contentType)
+	c.wireOut.Add(int64(len(body)))
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return true, err
@@ -319,7 +353,7 @@ func (c *Client) DoContext(ctx context.Context, session string, ops []Op, inputs
 	var result *ckks.Ciphertext
 	err = c.do(ctx, func(ctx context.Context) (bool, error) {
 		return c.post(ctx, c.base+"/v1/jobs", "application/x-bts-wire", payload, c.cfg.JobTimeout, func(resp *http.Response) error {
-			ct, err := c.codec.ReadCiphertext(resp.Body)
+			ct, err := c.codec.ReadCiphertext(&countingReader{r: resp.Body, n: &c.wireIn})
 			if err != nil {
 				return err
 			}
@@ -331,6 +365,56 @@ func (c *Client) DoContext(ctx context.Context, session string, ops []Op, inputs
 		return nil, err
 	}
 	return result, nil
+}
+
+// DoDAG submits a register-form DAG job: inputs are bound, in order, to the
+// registers named by inputNames before any op runs, and the values of the
+// outputs registers come back as the result slice (len(outputs)
+// ciphertexts, in order — possibly none: a job may leave everything
+// resident server-side for later jobs). Ops address per-session registers
+// via Ra/Rb/Out; see the Op and Server.SubmitDAG docs for the model. The
+// request is replayed per retryable attempt like DoContext; commits a
+// partially-failed attempt made are overwritten idempotently by the retry
+// (single-assignment programs write each register to the same value).
+func (c *Client) DoDAG(ctx context.Context, session string, inputNames []string, ops []Op, outputs []string, inputs ...*ckks.Ciphertext) ([]*ckks.Ciphertext, error) {
+	jr := JobRequest{Session: session, Ops: ops, Inputs: inputNames, Outputs: outputs}
+	if c.cfg.JobTimeout > 0 {
+		jr.TimeoutMs = c.cfg.JobTimeout.Milliseconds()
+	}
+	header, err := json.Marshal(jr)
+	if err != nil {
+		return nil, err
+	}
+	var body bytes.Buffer
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(header)))
+	body.Write(lenBuf[:])
+	body.Write(header)
+	for _, ct := range inputs {
+		if err := c.codec.WriteCiphertext(&body, ct); err != nil {
+			return nil, err
+		}
+	}
+	payload := body.Bytes()
+	var results []*ckks.Ciphertext
+	err = c.do(ctx, func(ctx context.Context) (bool, error) {
+		results = nil
+		return c.post(ctx, c.base+"/v1/jobs", "application/x-bts-wire", payload, c.cfg.JobTimeout, func(resp *http.Response) error {
+			cr := &countingReader{r: resp.Body, n: &c.wireIn}
+			for range outputs {
+				ct, err := c.codec.ReadCiphertext(cr)
+				if err != nil {
+					return err
+				}
+				results = append(results, ct)
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
 }
 
 // Stats fetches the server's serving statistics.

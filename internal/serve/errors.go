@@ -14,6 +14,11 @@ import (
 //
 //	invalid        the request itself is wrong (bad program, unknown
 //	               session, malformed wire bytes) — retrying is useless
+//	bad_job        a register-addressed DAG program failed validation
+//	               (dangling register reference, cycle, bad register name,
+//	               cross-session reference) — terminal like invalid, but
+//	               distinguishable so clients can surface program bugs
+//	               separately from transport-shaped mistakes
 //	unavailable    the server is closed or draining; a restarted or
 //	               rebalanced daemon will accept the same request
 //	queue_full     admission control rejected the job; backoff and retry
@@ -30,6 +35,7 @@ type ErrCode string
 
 const (
 	CodeInvalid     ErrCode = "invalid"
+	CodeBadJob      ErrCode = "bad_job"
 	CodeUnavailable ErrCode = "unavailable"
 	CodeQueueFull   ErrCode = "queue_full"
 	CodeDeadline    ErrCode = "deadline"
@@ -97,7 +103,7 @@ func IsRetryable(err error) bool {
 // status is advisory (and keeps curl/load-balancer semantics sensible).
 func httpStatus(err error) int {
 	switch Code(err) {
-	case CodeInvalid:
+	case CodeInvalid, CodeBadJob:
 		return http.StatusBadRequest
 	case CodeUnavailable:
 		return http.StatusServiceUnavailable

@@ -64,10 +64,19 @@ type ParamsResponse struct {
 // job request body. TimeoutMs, when positive, sets the job's deadline
 // (overriding Config.DefaultJobTimeout); expiry fails the job with a typed
 // "deadline" error without executing the remaining ops.
+//
+// Inputs and Outputs select the register-form DAG route (see SubmitDAG):
+// Inputs names the registers bound, in order, to the uploaded ciphertext
+// envelopes; Outputs the registers whose values come back in the response
+// (one envelope each, in order, with X-BTS-Outputs carrying the count).
+// Their absence — and the absence of register addressing in every op —
+// selects the legacy single-result route.
 type JobRequest struct {
-	Session   string `json:"session"`
-	Ops       []Op   `json:"ops"`
-	TimeoutMs int64  `json:"timeout_ms,omitempty"`
+	Session   string   `json:"session"`
+	Ops       []Op     `json:"ops"`
+	TimeoutMs int64    `json:"timeout_ms,omitempty"`
+	Inputs    []string `json:"inputs,omitempty"`
+	Outputs   []string `json:"outputs,omitempty"`
 }
 
 // errorResponse is the JSON error body. Code and Retryable carry the typed
@@ -290,6 +299,38 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 	start := time.Now()
+	dag := len(req.Inputs) > 0 || len(req.Outputs) > 0
+	if !dag {
+		for _, op := range req.Ops {
+			if op.registerForm() {
+				dag = true
+				break
+			}
+		}
+	}
+	if dag {
+		outs, err := s.SubmitDAG(ctx, req.Session, req.Ops, req.Inputs, req.Outputs, inputs)
+		release()
+		if err != nil {
+			writeServeError(w, err)
+			return
+		}
+		defer func() {
+			for _, ct := range outs {
+				s.ctx.PutCiphertext(ct)
+			}
+		}()
+		w.Header().Set("Content-Type", "application/x-bts-wire")
+		w.Header().Set("X-BTS-Latency-Us", fmt.Sprintf("%d", time.Since(start).Microseconds()))
+		w.Header().Set("X-BTS-Outputs", fmt.Sprintf("%d", len(outs)))
+		for _, ct := range outs {
+			if err := s.codec.WriteCiphertext(w, ct); err != nil {
+				// Headers are gone; nothing to do but drop the connection.
+				return
+			}
+		}
+		return
+	}
 	result, err := s.SubmitContext(ctx, req.Session, req.Ops, inputs)
 	release()
 	if err != nil {

@@ -5,43 +5,57 @@ import (
 	"time"
 
 	"bts/internal/ckks"
-	"bts/internal/faultinject"
-	"bts/internal/telemetry"
 )
 
 // OpKind names a primitive HE operation a job may request — the op set of
-// Section 2.3 of the paper plus bootstrapping.
+// Section 2.3 of the paper plus bootstrapping and plaintext products.
 type OpKind string
 
 const (
-	OpAdd           OpKind = "add"       // slot[a] + slot[b]
-	OpSub           OpKind = "sub"       // slot[a] - slot[b]
-	OpMul           OpKind = "mul"       // slot[a] ⊗ slot[b], relinearized
-	OpRotate        OpKind = "rot"       // slot[a] rotated left by `by`
-	OpRotateHoisted OpKind = "roth"      // slot[a] rotated by each amount in `bys` (one slot per amount)
-	OpConjugate     OpKind = "conj"      // slot-wise complex conjugate of slot[a]
-	OpRescale       OpKind = "rescale"   // slot[a] divided by its last prime
-	OpBootstrap     OpKind = "bootstrap" // slot[a] refreshed to full levels
+	OpAdd           OpKind = "add"       // a + b
+	OpSub           OpKind = "sub"       // a - b
+	OpMul           OpKind = "mul"       // a ⊗ b, relinearized
+	OpRotate        OpKind = "rot"       // a rotated left by `by`
+	OpRotateHoisted OpKind = "roth"      // a rotated by each amount in `bys` (one slot per amount)
+	OpConjugate     OpKind = "conj"      // slot-wise complex conjugate of a
+	OpRescale       OpKind = "rescale"   // a divided by its last prime
+	OpBootstrap     OpKind = "bootstrap" // a refreshed to full levels
+	OpMulPlain      OpKind = "pmul"      // a ⊙ encode(vals) — register-addressed jobs only
 )
 
-// Op is one step of a job program. Operands address a slot vector that
-// starts with the job's input ciphertexts (slot 0..k-1 for k inputs); each
-// executed op appends its result as the next slot — except "roth", which
-// appends one slot per entry of Bys, in Bys order — and the final slot is
-// the job's result. A/B below -1 or beyond the last produced slot are
-// rejected before the job is queued.
+// Op is one step of a job program. It comes in two addressing forms:
 //
-// "roth" is the hoisted multi-rotation: the ciphertext is decomposed for
-// key-switching once and every rotation reuses the decomposition, so a job
-// needing many rotations of one operand should ask for them in a single
-// "roth" instead of a chain of "rot" steps. Each produced slot is
-// bit-identical to the corresponding single "rot".
+// Slot form (the original wire format): operands A/B address a slot vector
+// that starts with the job's input ciphertexts (slot 0..k-1 for k inputs);
+// each executed op appends its result as the next slot — except "roth", which
+// appends one slot per entry of Bys, in Bys order — and the final slot is the
+// job's result. A/B below -1 or beyond the last produced slot are rejected
+// before the job is queued. "roth" survives as wire-compatible sugar: it
+// compiles into one "rot" node per amount, all reading the same operand, and
+// the scheduler's rotation-fan detector hoists them through a single shared
+// key-switch decomposition — the same execution the bespoke roth fast path
+// used to hand-roll, with bit-identical outputs.
+//
+// Register form (DAG jobs): operands name per-session ciphertext registers
+// ("$x", "$tmp0") via Ra/Rb, and every op commits its result to the register
+// named by Out. Register values persist server-side across requests within a
+// session, so multi-request pipelines upload and download ciphertexts only
+// at the DAG boundary. Ops in register form are unordered — the scheduler
+// derives the dependency graph from the names — and "pmul" (multiply by a
+// freshly encoded plaintext vector, served from the session's encoding
+// cache) is available in this form only. "roth" is not: ask for one "rot"
+// per amount and the fan detector hoists them automatically.
 type Op struct {
 	Kind OpKind `json:"kind"`
-	A    int    `json:"a"`
-	B    int    `json:"b,omitempty"`   // second operand (add/sub/mul)
+	A    int    `json:"a,omitempty"`
+	B    int    `json:"b,omitempty"`   // second operand (add/sub/mul), slot form
 	By   int    `json:"by,omitempty"`  // rotation amount (rot)
 	Bys  []int  `json:"bys,omitempty"` // rotation amounts (roth), no duplicates
+
+	Ra   string    `json:"ra,omitempty"`   // first operand register (register form)
+	Rb   string    `json:"rb,omitempty"`   // second operand register (add/sub/mul, register form)
+	Out  string    `json:"out,omitempty"`  // result register (register form; required there)
+	Vals []float64 `json:"vals,omitempty"` // plaintext vector (pmul)
 }
 
 // binary reports whether the op consumes two ciphertext operands.
@@ -49,9 +63,14 @@ func (o Op) binary() bool {
 	return o.Kind == OpAdd || o.Kind == OpSub || o.Kind == OpMul
 }
 
-// validateOps checks a job program against the slot-addressing rules before
-// it is queued: operand indices must reference inputs or earlier results.
-// Toward the op budget, a hoisted multi-rotation counts one unit per
+// registerForm reports whether the op uses register addressing.
+func (o Op) registerForm() bool {
+	return o.Ra != "" || o.Rb != "" || o.Out != "" || len(o.Vals) > 0
+}
+
+// validateOps checks a slot-form job program against the slot-addressing
+// rules before it is queued: operand indices must reference inputs or earlier
+// results. Toward the op budget, a hoisted multi-rotation counts one unit per
 // rotation it performs (it is one decomposition but len(Bys) key-switch
 // MACs, so a single "roth" must not smuggle an unbounded batch past
 // MaxOpsPerJob).
@@ -66,6 +85,8 @@ func validateOps(ops []Op, inputs, maxOps int) error {
 		switch op.Kind {
 		case OpAdd, OpSub, OpMul, OpRotate, OpConjugate, OpRescale, OpBootstrap:
 			cost++
+		case OpMulPlain:
+			return errf(CodeInvalid, "op %d: pmul requires the register-addressed job form", i)
 		case OpRotateHoisted:
 			if len(op.Bys) == 0 {
 				return errf(CodeInvalid, "op %d: roth with no rotation amounts", i)
@@ -101,111 +122,51 @@ func validateOps(ops []Op, inputs, maxOps int) error {
 	return nil
 }
 
-// run interprets the job program on the given evaluator (the session's
-// shared evaluator, or a job-private traced copy — see runBatch) and
-// bootstrapper (nil when the session's keys do not cover one). Evaluator
-// primitives panic on programmer error (missing keys, scale mismatch,
-// rescale at level 0); a job must never take the server down, so the
-// interpreter converts panics into typed job errors — recording a
-// bts_job_panics_total sample labeled with the op kind, retaining the
-// failed job's span tree on /v1/traces (when traced), and advancing the
-// session's quarantine ledger. The job's context is checked between ops, so
-// an expired deadline aborts the program without executing the remainder.
-// Intermediate results are returned to the context's ciphertext pool; the
-// final result is handed to the caller (pooled).
-//
-// Each executed op is bracketed by an "op.<kind>" span (when the job is
-// traced) carrying the result's level and noise margin, and by a latency
-// observation into the per-(kind, level) histogram (when metrics are on).
-func (j *job) run(s *Server, ev *ckks.Evaluator, bt *ckks.Bootstrapper) (result *ckks.Ciphertext, err error) {
-	ctx := s.ctx
-	slots := make([]*ckks.Ciphertext, len(j.inputs), len(j.inputs)+len(j.ops))
-	copy(slots, j.inputs)
-	var curKind OpKind // op being executed, for the panic report
-	defer func() {
-		if r := recover(); r != nil {
-			err = s.jobPanicked(j, curKind, r)
-			result = nil
+// execNode runs one compiled DAG node's primitive on the given evaluator.
+// Rotation nodes that belong to a detected fan arrive with a prepared
+// decomposition (hd non-nil) and ride the hoisted gather-MAC path —
+// bit-identical to the naive rotation. Evaluator primitives panic on
+// programmer error (missing keys, scale mismatch, rescale at level 0); the
+// executor's per-node recovery converts those into typed job errors.
+func (s *Server) execNode(ev *ckks.Evaluator, bt *ckks.Bootstrapper, j *job, n *node, a, b *ckks.Ciphertext, hd *ckks.HoistedDecomposition) (*ckks.Ciphertext, error) {
+	switch n.kind {
+	case OpAdd:
+		return ev.Add(a, b), nil
+	case OpSub:
+		return ev.Sub(a, b), nil
+	case OpMul:
+		return ev.MulRelin(a, b), nil
+	case OpRotate:
+		if hd != nil {
+			return ev.RotateWithDecomposition(a, n.by, hd), nil
 		}
-		// Release every produced intermediate except the result; inputs stay
-		// owned by the submitter.
-		for _, ct := range slots[len(j.inputs):] {
-			if ct != result {
-				ctx.PutCiphertext(ct)
-			}
+		return ev.Rotate(a, n.by), nil
+	case OpConjugate:
+		return ev.Conjugate(a), nil
+	case OpRescale:
+		return ev.Rescale(a), nil
+	case OpMulPlain:
+		// The vector is encoded at the canonical scale Δ (not the operand's
+		// current scale), so a pmul followed by rescale lands back near Δ —
+		// and so the encoding cache key is stable across operand scales.
+		pt, err := s.sessionPlaintext(j.sess, n.vals, a.Level, s.ctx.Params.Scale)
+		if err != nil {
+			return nil, errf(CodeInvalid, "op %d: encoding pmul vector: %v", n.opIdx, err)
 		}
-		if err == nil {
-			j.sess.noteSuccess()
+		return ev.MulPlain(a, pt), nil
+	case OpBootstrap:
+		if bt == nil {
+			return nil, errf(CodeInvalid, "op %d: session %q has no bootstrapper (disabled or rotation keys missing)", n.opIdx, j.sess.name)
 		}
-	}()
-	for i, op := range j.ops {
-		if cerr := j.ctx.Err(); cerr != nil {
-			return nil, contextError(cerr)
+		// BootstrapWith runs the pipeline on this node's evaluator, so a
+		// traced job records the phase spans under its own op span.
+		out, berr := bt.BootstrapWith(ev, a)
+		if berr != nil {
+			return nil, errf(CodeInvalid, "op %d: bootstrap: %v", n.opIdx, berr)
 		}
-		if ferr := faultinject.Eval("serve.op.exec"); ferr != nil {
-			return nil, injectedFaultError(ferr)
-		}
-		curKind = op.Kind
-		var (
-			out   *ckks.Ciphertext
-			sp    telemetry.Span
-			start time.Time
-		)
-		if s.tel != nil {
-			start = time.Now()
-		}
-		if j.tr.Active() {
-			sp = j.tr.Span(opSpanNames[op.Kind], j.root.ID())
-			ev.SetTraceParent(sp.ID())
-		}
-		switch op.Kind {
-		case OpAdd:
-			out = ev.Add(slots[op.A], slots[op.B])
-		case OpSub:
-			out = ev.Sub(slots[op.A], slots[op.B])
-		case OpMul:
-			out = ev.MulRelin(slots[op.A], slots[op.B])
-		case OpRotate:
-			out = ev.Rotate(slots[op.A], op.By)
-		case OpRotateHoisted:
-			// One shared decomposition for the whole batch; validation
-			// rejected duplicate amounts, so each produced slot is a
-			// distinct pooled ciphertext and the release loop below stays
-			// single-Put. All but the last append here; the last falls
-			// through to the shared append.
-			rotated := ev.RotateHoisted(slots[op.A], op.Bys)
-			for _, by := range op.Bys[:len(op.Bys)-1] {
-				slots = append(slots, rotated[by])
-			}
-			out = rotated[op.Bys[len(op.Bys)-1]]
-		case OpConjugate:
-			out = ev.Conjugate(slots[op.A])
-		case OpRescale:
-			out = ev.Rescale(slots[op.A])
-		case OpBootstrap:
-			if bt == nil {
-				return nil, errf(CodeInvalid, "op %d: session %q has no bootstrapper (disabled or rotation keys missing)", i, j.sess.name)
-			}
-			// BootstrapWith runs the pipeline on this job's evaluator, so a
-			// traced job records the phase spans under its own op span.
-			var berr error
-			out, berr = bt.BootstrapWith(ev, slots[op.A])
-			if berr != nil {
-				return nil, errf(CodeInvalid, "op %d: bootstrap: %v", i, berr)
-			}
-		}
-		if sp.Recording() {
-			ev.SetTraceParent(j.root.ID())
-			sp.SetLevel(out.Level)
-			sp.SetMarginBits(ctx.NoiseMargin(out))
-			sp.End()
-		}
-		if s.tel != nil {
-			s.tel.observeOp(op.Kind, out.Level, time.Since(start))
-		}
-		slots = append(slots, out)
+		return out, nil
 	}
-	return slots[len(slots)-1], nil
+	return nil, errf(CodeInternal, "op %d: unhandled compiled kind %q", n.opIdx, n.kind)
 }
 
 // jobPanicked converts a recovered op panic into the job's typed error:
@@ -213,7 +174,8 @@ func (j *job) run(s *Server, ev *ckks.Evaluator, bt *ckks.Bootstrapper) (result 
 // job is traced, and scored against the session's quarantine ledger. The
 // error is retryable — the op produced no result, and a panic may be
 // load- or fault-injection-induced — but once the session quarantines,
-// further submits fail terminally until the tenant reopens it.
+// further submits fail terminally until the tenant reopens it. Safe to call
+// from concurrent DAG node goroutines.
 func (s *Server) jobPanicked(j *job, kind OpKind, r any) error {
 	if kind == "" {
 		kind = "(pre-op)"

@@ -17,6 +17,7 @@ type job struct {
 	ctx      context.Context
 	sess     *session
 	ops      []Op
+	prog     *program
 	inputs   []*ckks.Ciphertext
 	enqueued time.Time
 	done     chan jobResult
@@ -39,20 +40,22 @@ type job struct {
 }
 
 type jobResult struct {
-	ct  *ckks.Ciphertext
+	cts []*ckks.Ciphertext
 	err error
 }
 
 // finishJob is the single completion point of every job: it records
 // latency, per-session statistics and result counters exactly once, then
-// delivers on the job's buffered done channel. executed reports whether the
-// job actually ran ops (cancelled/skipped jobs keep their latency out of
-// the percentile reservoirs' op accounting only via ops=0).
-func (s *Server) finishJob(j *job, ct *ckks.Ciphertext, err error, executed bool) {
+// delivers on the job's buffered done channel. cts is the legacy job's
+// single result or a DAG job's outputs (possibly empty: a pure-upload DAG
+// requests none). executed reports whether the job actually ran ops
+// (cancelled/skipped jobs keep their latency out of the percentile
+// reservoirs' op accounting only via ops=0).
+func (s *Server) finishJob(j *job, cts []*ckks.Ciphertext, err error, executed bool) {
 	if !j.delivered.CompareAndSwap(false, true) {
 		// Someone already completed this job (e.g. the cancel path raced the
-		// batch worker). A produced result must not leak out of the pool.
-		if ct != nil {
+		// batch worker). Produced results must not leak out of the pool.
+		for _, ct := range cts {
 			s.ctx.PutCiphertext(ct)
 		}
 		return
@@ -80,7 +83,7 @@ func (s *Server) finishJob(j *job, ct *ckks.Ciphertext, err error, executed bool
 		ops = len(j.ops)
 	}
 	j.sess.stats.completed(lat, ops, err)
-	j.done <- jobResult{ct: ct, err: err}
+	j.done <- jobResult{cts: cts, err: err}
 }
 
 // dispatch is the scheduler loop. It repeatedly forms a batch — up to
@@ -280,6 +283,10 @@ func (s *Server) runBatch(batch []*job) {
 		}
 		return
 	}
+	// The batch's jobs share one hoist cache: rotation fans over the same
+	// resident register reuse a single key-switch decomposition across jobs.
+	hc := newHoistCache()
+	defer hc.release()
 	var wg sync.WaitGroup
 	for _, j := range batch {
 		wg.Add(1)
@@ -296,8 +303,8 @@ func (s *Server) runBatch(batch []*job) {
 				j.queue.End()
 				jev = jev.WithTrace(j.tr, j.root.ID())
 			}
-			ct, err := j.run(s, jev, bt)
-			s.finishJob(j, ct, err, true)
+			cts, err := j.run(s, jev, bt, hc)
+			s.finishJob(j, cts, err, true)
 		}(j)
 	}
 	wg.Wait()

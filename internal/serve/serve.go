@@ -5,18 +5,50 @@
 // for FPGA hosts).
 //
 // Clients open named sessions by uploading evaluation keys (relinearization
-// and rotation keys — never the secret key), then submit jobs: small
-// programs of primitive HE ops (Add/Sub/Mult/Rotate/RotateHoisted/
-// Conjugate/Rescale/Bootstrap) over wire-format ciphertexts. Rotation-heavy
-// jobs should batch rotations of one operand into a single hoisted "roth"
-// step, which decomposes the ciphertext for key-switching once and reuses
-// it across all requested amounts (see internal/ckks hoisting). A dispatcher batches compatible
-// jobs (same session: they share key material, keeping key-switching tables
-// hot) and executes each batch with one goroutine per job, so several
-// ciphertexts are in flight across the context's shared limb-parallel
-// ring.Engine at once. Results come from the context's ciphertext pool and
-// every intermediate returns to it, so steady-state serving allocates
-// nothing per job.
+// and rotation keys — never the secret key), then submit jobs: programs of
+// primitive HE ops (Add/Sub/Mult/Rotate/Conjugate/Rescale/Bootstrap, plus
+// plaintext products) over wire-format ciphertexts. A dispatcher batches
+// compatible jobs (same session: they share key material, keeping
+// key-switching tables hot) and executes each batch with one goroutine per
+// job, so several ciphertexts are in flight across the context's shared
+// limb-parallel ring.Engine at once. Results come from the context's
+// ciphertext pool and every intermediate returns to it, so steady-state
+// serving allocates nothing per job.
+//
+// # DAG jobs and ciphertext registers
+//
+// Jobs come in two addressing forms (see Op). The original slot form is a
+// flat list over the job's uploaded inputs, returning one result. The
+// register form is a DAG over named per-session ciphertext registers
+// ("$x", "$tmp0"): ops are unordered, each reads registers and commits its
+// result to a fresh one, and register values persist server-side across
+// requests within the session — so a multi-request pipeline uploads inputs
+// once, chains jobs over the registers, and downloads only the final
+// outputs at the DAG boundary (SubmitDAG / Client.DoDAG). The scheduler
+// compiles both forms into one dependency graph, executes it in
+// topologically ordered stages with the independent ops of a stage running
+// concurrently, and applies two operand-reuse optimizations the flat
+// interpreter could not see:
+//
+//   - Auto-hoisting: two or more rotations of the same value in one stage
+//     share a single key-switch decomposition (internal/ckks hoisting) —
+//     and when the value is a resident register, the decomposition is
+//     reused across all jobs of the batch. The old explicit "roth" op
+//     survives as wire-compatible sugar compiled onto this path,
+//     bit-identical to before.
+//   - Encoding cache: "pmul" plaintext vectors are encoded once per
+//     session (LRU, Config.EncodingCacheEntries) instead of per job.
+//
+// Register bytes are charged against the same Config.SessionQuotaBytes as
+// key uploads (commit fails with CodeQuota when keys + registers would
+// exceed it). Under key-memory pressure — and on drain — a session's
+// registers spill to the durable store alongside its keys and rehydrate on
+// its next DAG job, so eviction and clean restarts lose no register;
+// a crash loses registers committed since the last spill, and jobs naming
+// them fail with a terminal CodeBadJob. Program errors (dangling register
+// reference, dependency cycle, malformed names) are rejected with
+// CodeBadJob; a mid-DAG fault or cancellation skips every dependent op
+// while results already committed to registers stay committed.
 //
 // # Fault tolerance
 //
@@ -116,6 +148,9 @@ type Config struct {
 	// session (further submits fail with CodeQuarantined until the tenant
 	// reopens it). 0 selects the default of 3; negative disables.
 	QuarantineAfter int
+	// EncodingCacheEntries caps the per-session LRU of pmul plaintext
+	// encodings (0 selects the default of 32; negative disables caching).
+	EncodingCacheEntries int
 
 	// DisableMetrics turns off the Prometheus registry (GET /metrics and
 	// /debug/vars disappear from the handler) and detaches the engine, pool,
@@ -275,6 +310,9 @@ func New(cfg Config) (*Server, error) {
 			sess.onDisk = true
 			sess.keyBytes = m.KeyBytes
 			sess.created = time.Unix(m.CreatedUnix, 0)
+			// The previous process may have spilled registers; load them
+			// lazily on the session's first DAG job.
+			sess.regsLoaded = false
 			s.sessions[m.Name] = sess
 		}
 	}
@@ -282,9 +320,11 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// newSession builds a session shell (no evaluator yet).
+// newSession builds a session shell (no evaluator yet). A fresh session's
+// register set is trivially complete; the restart path flips regsLoaded
+// off to defer to the store.
 func (s *Server) newSession(name string) *session {
-	sess := &session{name: name, created: time.Now()}
+	sess := &session{name: name, created: time.Now(), regsLoaded: true}
 	if s.tel != nil {
 		// Attach the session's running noise floor once, at open time, so
 		// steady-state jobs keep allocating nothing: evaluator copies share
@@ -349,7 +389,9 @@ func (s *Server) buildRuntime(sess *session, rlk *ckks.SwitchingKey, rtks *ckks.
 // The upload is checked against Config.SessionQuotaBytes and, when the
 // durable store is configured, persisted before the session goes live —
 // write-through, so a session that was ever open survives a crash.
-// Reopening a session clears its quarantine and resets its fault ledger.
+// Reopening a session clears its quarantine, resets its fault ledger, and
+// discards its ciphertext registers (in memory and on disk): new keys mean
+// the old registers may not even decrypt under the tenant's secret key.
 func (s *Server) OpenSession(name string, rlk *ckks.SwitchingKey, rtks *ckks.RotationKeySet) error {
 	if name == "" {
 		return errf(CodeInvalid, "empty session name")
@@ -470,9 +512,13 @@ func (s *Server) sessionRuntime(sess *session) (*ckks.Evaluator, *ckks.Bootstrap
 	return eval, bt, nil
 }
 
-// evictVictims drops the decoded keys of sessions the LRU selected.
+// evictVictims drops the decoded keys of sessions the LRU selected,
+// spilling their resident registers to the durable store first — the LRU
+// only nominates idle sessions, so the spill races no commit, and the
+// session's next DAG job rehydrates both keys and registers.
 func (s *Server) evictVictims(victims []*session) {
 	for _, v := range victims {
+		s.spillRegisters(v)
 		v.evict()
 	}
 }
@@ -502,12 +548,73 @@ func (s *Server) SubmitContext(ctx context.Context, sessionName string, ops []Op
 	if sess.isQuarantined() {
 		return nil, errf(CodeQuarantined, "session %q is quarantined after repeated faults; reopen it to clear", sessionName)
 	}
+	for i, op := range ops {
+		if op.registerForm() {
+			return nil, errf(CodeBadJob, "op %d uses register addressing; submit it as a DAG job (SubmitDAG, or inputs/outputs on the wire)", i)
+		}
+	}
 	if err := validateOps(ops, len(inputs), s.cfg.MaxOpsPerJob); err != nil {
 		return nil, err
 	}
 	if len(inputs) == 0 {
 		return nil, errf(CodeInvalid, "job carries no input ciphertexts")
 	}
+	cts, err := s.submitJob(ctx, sess, ops, compileLegacy(ops, len(inputs)), inputs)
+	if err != nil {
+		return nil, err
+	}
+	return cts[0], nil
+}
+
+// SubmitDAG enqueues a register-form DAG job and blocks like SubmitContext.
+// inputs are uploaded ciphertexts bound (in order) to the registers named
+// by inputNames before any op runs; outputs names the registers whose
+// values are returned, resolved after the DAG completes — each returned
+// ciphertext is a pooled copy the caller should PutCiphertext once
+// serialized, while the session keeps owning the register values. A job
+// with no ops is a pure upload; one with no outputs returns nothing and
+// leaves its results resident for later jobs.
+//
+// Validation failures — malformed register names, an op set with a
+// dependency cycle, a read of a register the session does not hold
+// (including one another session owns: registers are strictly
+// session-scoped) — are terminal CodeBadJob errors. Mid-DAG faults and
+// cancellation skip every dependent op; results already committed to
+// registers stay committed, so a retry can resume from them.
+func (s *Server) SubmitDAG(ctx context.Context, sessionName string, ops []Op, inputNames, outputs []string, inputs []*ckks.Ciphertext) ([]*ckks.Ciphertext, error) {
+	sess, err := s.session(sessionName)
+	if err != nil {
+		return nil, err
+	}
+	if sess.isQuarantined() {
+		return nil, errf(CodeQuarantined, "session %q is quarantined after repeated faults; reopen it to clear", sessionName)
+	}
+	if len(inputs) != len(inputNames) {
+		return nil, errf(CodeBadJob, "job uploads %d ciphertexts for %d input bindings", len(inputs), len(inputNames))
+	}
+	prog, err := compileRegisters(ops, inputNames, outputs, s.cfg.MaxOpsPerJob)
+	if err != nil {
+		return nil, err
+	}
+	// Reject dangling register reads at submit time when the in-memory set
+	// is complete; after a restart or spill the check defers to execution,
+	// once the store has been consulted. Reads resolve against registers
+	// committed before the job runs — a concurrently queued writer does not
+	// count, so submitters chaining jobs should submit them sequentially.
+	if len(prog.reads) > 0 && sess.registersKnown() {
+		for _, name := range prog.reads {
+			if sess.getRegister(name) == nil {
+				return nil, errf(CodeBadJob, "job reads register %q, which does not exist in session %q", name, sessionName)
+			}
+		}
+	}
+	return s.submitJob(ctx, sess, ops, prog, inputs)
+}
+
+// submitJob is the shared enqueue-and-wait path behind SubmitContext and
+// SubmitDAG: admission control, tracing, the queue handshake, and the
+// cancellation race.
+func (s *Server) submitJob(ctx context.Context, sess *session, ops []Op, prog *program, inputs []*ckks.Ciphertext) ([]*ckks.Ciphertext, error) {
 	if t := s.cfg.DefaultJobTimeout; t > 0 {
 		if _, has := ctx.Deadline(); !has {
 			var cancel context.CancelFunc
@@ -519,6 +626,7 @@ func (s *Server) SubmitContext(ctx context.Context, sessionName string, ops []Op
 		ctx:      ctx,
 		sess:     sess,
 		ops:      ops,
+		prog:     prog,
 		inputs:   inputs,
 		enqueued: time.Now(),
 		done:     make(chan jobResult, 1),
@@ -548,7 +656,7 @@ func (s *Server) SubmitContext(ctx context.Context, sessionName string, ops []Op
 
 	select {
 	case r := <-j.done:
-		return r.ct, r.err
+		return r.cts, r.err
 	case <-ctx.Done():
 		return s.cancelJob(j)
 	}
@@ -558,7 +666,7 @@ func (s *Server) SubmitContext(ctx context.Context, sessionName string, ops []Op
 // system. Queued jobs are unlinked (or, if already claimed into a batch,
 // marked so the batch worker skips execution); a job already executing runs
 // to completion — its inputs are in use — and the result is discarded.
-func (s *Server) cancelJob(j *job) (*ckks.Ciphertext, error) {
+func (s *Server) cancelJob(j *job) ([]*ckks.Ciphertext, error) {
 	ctxErr := contextError(j.ctx.Err())
 	// Fast path: still in the pending queue — unlink it so it never
 	// dispatches (and frees its queue slot immediately).
@@ -569,7 +677,7 @@ func (s *Server) cancelJob(j *job) (*ckks.Ciphertext, error) {
 			s.mu.Unlock()
 			s.finishJob(j, nil, ctxErr, false)
 			r := <-j.done
-			return r.ct, r.err
+			return r.cts, r.err
 		}
 	}
 	s.mu.Unlock()
@@ -579,8 +687,11 @@ func (s *Server) cancelJob(j *job) (*ckks.Ciphertext, error) {
 	r := <-j.done
 	if r.err == nil {
 		// The job finished under us; the caller is gone, so recycle the
-		// result and surface the context error.
-		s.ctx.PutCiphertext(r.ct)
+		// results and surface the context error. Register commits the job
+		// made are kept — they are session state, not response payload.
+		for _, ct := range r.cts {
+			s.ctx.PutCiphertext(ct)
+		}
 		return nil, ctxErr
 	}
 	return nil, r.err
@@ -634,6 +745,20 @@ func (s *Server) Drain(ctx context.Context) error {
 	var err error
 	select {
 	case <-drained:
+		// Fully drained: every session is idle, so spill resident registers
+		// while the store is still reachable. The next process rehydrates
+		// them lazily, making clean restarts lossless for register state.
+		// (On an expired ctx jobs may still be running, so no spill — a
+		// concurrent commit could be lost mid-write.)
+		s.mu.Lock()
+		sessions := make([]*session, 0, len(s.sessions))
+		for _, sess := range s.sessions {
+			sessions = append(sessions, sess)
+		}
+		s.mu.Unlock()
+		for _, sess := range sessions {
+			s.spillRegisters(sess)
+		}
 	case <-ctx.Done():
 		err = ctx.Err()
 	}

@@ -28,10 +28,20 @@ type session struct {
 	noise   *ckks.NoiseFloor // nil when telemetry is disabled
 	stats   sessionStats
 
-	// hydMu serializes rehydration (store read + key decode) so concurrent
-	// batches of an evicted session load its keys exactly once. Never held
-	// together with mu.
+	// hydMu serializes rehydration (store read + key decode, and the
+	// register reload of hydrateRegisters) so concurrent batches of an
+	// evicted session load its state exactly once. Never held together
+	// with mu.
 	hydMu sync.Mutex
+
+	// regMu guards the ciphertext registers — the DAG job model's
+	// session-resident values (see registers.go) — and the lazily built
+	// encoding cache. Leaf lock: nothing else is acquired under it.
+	regMu      sync.Mutex
+	regs       map[string]*register
+	regBytes   int64
+	regsLoaded bool // the in-memory set is complete (nothing spilled-only)
+	enc        *encodingCache
 
 	// mu guards the rebuildable runtime state and the fault ledger. It is
 	// held only for quick field access, never across I/O or key decoding.
@@ -204,6 +214,8 @@ type SessionStats struct {
 	Durable        bool     `json:"durable"`
 	Quarantined    bool     `json:"quarantined"`
 	KeyBytes       int64    `json:"key_bytes"`
+	Registers      int      `json:"registers"`
+	RegisterBytes  int64    `json:"register_bytes"`
 	LatWindow      int      `json:"lat_window"`
 	LatSamples     int      `json:"lat_samples"`
 	P50Ms          float64  `json:"p50_ms"`
@@ -286,6 +298,8 @@ func (sess *session) snapshot() SessionStats {
 		mix = mix.Add(sess.eval.Counters())
 	}
 	sess.mu.Unlock()
+
+	out.Registers, out.RegisterBytes = sess.registerStats()
 
 	out.OpMix = opMixOf(mix)
 	if sess.noise != nil {

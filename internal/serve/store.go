@@ -325,3 +325,146 @@ func (st *Store) Delete(name string) error {
 	}
 	return nil
 }
+
+// Ciphertext registers spill to a single registers.bin inside the session
+// directory, so Save (which replaces the whole directory) atomically drops
+// stale registers when a session reopens with new keys. The format is
+// self-checking like the key blobs but self-contained (no manifest entry —
+// registers change far more often than keys, and rewriting the manifest on
+// every spill would double the rename traffic):
+//
+//	"BTSREGS1" | u32 count | count × (u16 len(name) | name |
+//	    u32 len(blob) | wire ciphertext envelope) | u32 CRC-32C
+//
+// all little-endian, CRC over every preceding byte. The file is written to
+// a temporary name in the session directory, fsynced, then renamed — a
+// crash leaves the previous spill (or none), never a torn one.
+const regsFile = "registers.bin"
+
+var regsMagic = []byte("BTSREGS1")
+
+// maxRegsFileBytes bounds a register file read (a corrupt count cannot
+// make the loader allocate unboundedly past it).
+const maxRegsFileBytes = 1 << 32
+
+// SaveRegisters persists a session's register set, replacing any previous
+// spill. The session must already have a stored manifest — registers are
+// an adjunct to a durable session, not a session themselves.
+func (st *Store) SaveRegisters(name string, regs map[string]*ckks.Ciphertext) error {
+	if err := faultinject.Eval("serve.store.save_regs"); err != nil {
+		return injectedFaultError(err)
+	}
+	dir := st.sessionDir(name)
+	if _, err := os.Stat(filepath.Join(dir, manifestFile)); err != nil {
+		return errf(CodeStore, "spilling registers of %q: no stored session: %v", name, err)
+	}
+	names := make([]string, 0, len(regs))
+	for n := range regs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var buf []byte
+	buf = append(buf, regsMagic...)
+	buf = le32(buf, uint32(len(names)))
+	for _, n := range names {
+		blob, err := st.codec.MarshalCiphertext(regs[n])
+		if err != nil {
+			return errf(CodeStore, "encoding register %q of %q: %v", n, name, err)
+		}
+		buf = append(buf, byte(len(n)), byte(len(n)>>8))
+		buf = append(buf, n...)
+		buf = le32(buf, uint32(len(blob)))
+		buf = append(buf, blob...)
+	}
+	buf = le32(buf, crc32.Checksum(buf, crcTable))
+	f, err := os.CreateTemp(dir, ".regs-*")
+	if err != nil {
+		return errf(CodeStore, "spilling registers of %q: %v", name, err)
+	}
+	tmp := f.Name()
+	if _, err := f.Write(buf); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, filepath.Join(dir, regsFile))
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return errf(CodeStore, "spilling registers of %q: %v", name, err)
+	}
+	return nil
+}
+
+// LoadRegisters reads a session's spilled register set; a session that
+// never spilled returns (nil, nil). Corruption (bad magic, checksum, torn
+// lengths) is a typed store error, never a panic.
+func (st *Store) LoadRegisters(name string) (map[string]*ckks.Ciphertext, error) {
+	if err := faultinject.Eval("serve.store.load_regs"); err != nil {
+		return nil, injectedFaultError(err)
+	}
+	b, err := os.ReadFile(filepath.Join(st.sessionDir(name), regsFile))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, errf(CodeStore, "reading registers of %q: %v", name, err)
+	}
+	if int64(len(b)) > maxRegsFileBytes {
+		return nil, errf(CodeStore, "registers of %q: file of %d bytes over the limit", name, len(b))
+	}
+	if len(b) < len(regsMagic)+8 || string(b[:len(regsMagic)]) != string(regsMagic) {
+		return nil, errf(CodeStore, "registers of %q: bad magic or truncated file", name)
+	}
+	body, trailer := b[:len(b)-4], b[len(b)-4:]
+	if crc32.Checksum(body, crcTable) != rd32(trailer) {
+		return nil, errf(CodeStore, "registers of %q: checksum mismatch", name)
+	}
+	p := body[len(regsMagic):]
+	if len(p) < 4 {
+		return nil, errf(CodeStore, "registers of %q: truncated count", name)
+	}
+	count := rd32(p)
+	p = p[4:]
+	regs := make(map[string]*ckks.Ciphertext, count)
+	for i := uint32(0); i < count; i++ {
+		if len(p) < 2 {
+			return nil, errf(CodeStore, "registers of %q: truncated name length", name)
+		}
+		nl := int(p[0]) | int(p[1])<<8
+		p = p[2:]
+		if len(p) < nl+4 {
+			return nil, errf(CodeStore, "registers of %q: truncated entry", name)
+		}
+		rn := string(p[:nl])
+		p = p[nl:]
+		bl := int(rd32(p))
+		p = p[4:]
+		if bl < 0 || len(p) < bl {
+			return nil, errf(CodeStore, "registers of %q: truncated ciphertext blob", name)
+		}
+		// st.codec is non-pooled, so loaded ciphertexts are plain heap
+		// allocations — exactly what registers.go needs: values that never
+		// pass through the context's pool.
+		ct, err := st.codec.UnmarshalCiphertext(p[:bl])
+		if err != nil {
+			return nil, errf(CodeStore, "registers of %q: decoding %q: %v", name, rn, err)
+		}
+		p = p[bl:]
+		regs[rn] = ct
+	}
+	if len(p) != 0 {
+		return nil, errf(CodeStore, "registers of %q: %d trailing bytes", name, len(p))
+	}
+	return regs, nil
+}
+
+func le32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func rd32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}

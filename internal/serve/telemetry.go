@@ -14,9 +14,12 @@ import (
 // dispatch; each executed op gets an "op.<kind>" span under the root, and the
 // evaluator's own spans (ckks.*, bootstrap.*) nest under the op that ran
 // them.
+// Register-form (DAG) jobs additionally group each stage's op spans under a
+// "dag.stage" span, so a trace shows the stage structure the scheduler ran.
 var (
 	spanJob   = telemetry.Name("serve.job")
 	spanQueue = telemetry.Name("serve.queue")
+	spanStage = telemetry.Name("dag.stage")
 
 	opSpanNames = map[OpKind]uint32{
 		OpAdd:           telemetry.Name("op.add"),
@@ -27,6 +30,7 @@ var (
 		OpConjugate:     telemetry.Name("op.conj"),
 		OpRescale:       telemetry.Name("op.rescale"),
 		OpBootstrap:     telemetry.Name("op.bootstrap"),
+		OpMulPlain:      telemetry.Name("op.pmul"),
 	}
 )
 
@@ -56,6 +60,13 @@ type telemetryState struct {
 	slowJobs        atomic.Int64
 	quotaRejections atomic.Int64 // uploads rejected by SessionQuotaBytes
 	quarantines     atomic.Int64 // sessions quarantined after repeated faults
+
+	hoistShared    atomic.Int64 // rotation fans served by one shared decomposition
+	hoistCacheHits atomic.Int64 // fans that reused a batch-cached decomposition
+	encHits        atomic.Int64 // pmul encodings served from a session cache
+	encMisses      atomic.Int64 // pmul encodings computed (cache miss or disabled-cache path skips both)
+	regSpills      atomic.Int64 // registers spilled to the durable store
+	regReloads     atomic.Int64 // registers rehydrated from the durable store
 
 	batchSize  *telemetry.Histogram // jobs per dispatched batch
 	lingerWait *telemetry.Histogram // seconds undersized batches lingered
@@ -139,6 +150,12 @@ func (ts *telemetryState) collectScheduler(w *telemetry.Writer) {
 	w.Counter("bts_slow_jobs_total", "Jobs that exceeded the slow-job threshold.", nil, float64(ts.slowJobs.Load()))
 	w.Counter("bts_quota_rejections_total", "Key uploads rejected by the per-tenant quota.", nil, float64(ts.quotaRejections.Load()))
 	w.Counter("bts_session_quarantines_total", "Sessions quarantined after repeated job faults.", nil, float64(ts.quarantines.Load()))
+	w.Counter("bts_hoist_shared_decompositions_total", "Rotation fans served by one shared key-switch decomposition (scheduler auto-hoisting).", nil, float64(ts.hoistShared.Load()))
+	w.Counter("bts_hoist_cache_hits_total", "Rotation fans that reused a batch-cached register decomposition.", nil, float64(ts.hoistCacheHits.Load()))
+	w.Counter("bts_encoding_cache_hits_total", "Plaintext (pmul) encodings served from a session's encoding cache.", nil, float64(ts.encHits.Load()))
+	w.Counter("bts_encoding_cache_misses_total", "Plaintext (pmul) encodings computed on cache miss.", nil, float64(ts.encMisses.Load()))
+	w.Counter("bts_register_spills_total", "Ciphertext registers spilled to the durable store.", nil, float64(ts.regSpills.Load()))
+	w.Counter("bts_register_reloads_total", "Ciphertext registers rehydrated from the durable store.", nil, float64(ts.regReloads.Load()))
 	ts.panicMu.Lock()
 	kinds := make([]OpKind, 0, len(ts.panics))
 	counts := make(map[OpKind]int64, len(ts.panics))
@@ -184,6 +201,15 @@ func (s *Server) collectSessions(w *telemetry.Writer) {
 
 	w.Gauge("bts_queue_depth", "Jobs queued and not yet dispatched.", nil, float64(depth))
 	w.Gauge("bts_sessions_open", "Open sessions.", nil, float64(len(sessions)))
+	var regCount int
+	var regBytes int64
+	for _, sess := range sessions {
+		c, b := sess.registerStats()
+		regCount += c
+		regBytes += b
+	}
+	w.Gauge("bts_registers", "Ciphertext registers resident in memory across sessions.", nil, float64(regCount))
+	w.Gauge("bts_register_bytes", "Resident ciphertext-register bytes across sessions.", nil, float64(regBytes))
 	for _, sess := range sessions {
 		sl := []telemetry.Label{{Name: "session", Value: sess.name}}
 		sess.stats.mu.Lock()
@@ -202,6 +228,8 @@ func (s *Server) collectSessions(w *telemetry.Writer) {
 		sess.mu.Unlock()
 		w.Gauge("bts_session_keys_resident", "Whether the session's decoded keys are in memory (1) or evicted/cold (0).",
 			sl, boolGauge(resident))
+		_, sessRegBytes := sess.registerStats()
+		w.Gauge("bts_session_register_bytes", "Resident ciphertext-register bytes per session.", sl, float64(sessRegBytes))
 		for _, kv := range []struct {
 			kind string
 			v    int64
