@@ -25,7 +25,10 @@
 // active limbs alone cannot fill the pool (low-level ciphertexts,
 // bootstrapping's tail), over contiguous coefficient blocks within each
 // residue row — the software analogue of the paper's PE grid distributing
-// both limbs and coefficients (Section 4.1). A context created by NewScheme
+// both limbs and coefficients (Section 4.1). Full rows run the fused
+// radix-4 NTT kernels as one task each; sharded rows fall back to the
+// per-stage radix-2 schedule with a barrier between stages. A context
+// created by NewScheme
 // runs on a process-wide pool sized to runtime.GOMAXPROCS (snapshotted at
 // first use); NewSchemeWorkers (or Context.SetWorkers) picks an explicit
 // worker count, with 0 selecting the serial fallback. Results are
@@ -66,11 +69,18 @@
 // constants (rescale inverses, P mod q) is form-preserving and free of
 // conversions. Residues enter M-form at the encode/sampling boundary and
 // leave it only at decode time and in the wire format, which transports
-// true canonical residues (internal/wire). The pre-Montgomery Barrett
-// kernels are retained as the bit-identity reference
-// (internal/ring/reference.go); `btsbench -experiment table2` measures the
-// per-kernel speedup and runs the N=2^17 Table 2 paper instance
-// (ckks.Table2Literal) through the S=3 factored bootstrap, with CI
+// true canonical residues (internal/wire). The NTT/iNTT inner kernels are
+// fused radix-4 (merged two-layer) butterflies: twiddle triples precomputed
+// per modulus (mod.FusedNTTTwiddles), four coefficients per butterfly,
+// intermediates on a widened [0, 4q) lazy window with one REDC per multiply
+// — halving the passes over each row relative to the per-stage radix-2
+// kernels, which are retained for the sharded stage-barrier schedule and as
+// the fused kernels' in-family baseline. The pre-Montgomery Barrett kernels
+// are retained as the bit-identity reference (internal/ring/reference.go);
+// `btsbench -experiment table2` measures the per-kernel speedups (including
+// ns/butterfly and effective GB/s for the transforms), runs the N=2^17
+// Table 2 paper instance (ckks.Table2Literal) through the S=3 factored
+// bootstrap, and appends a 1/2/4/8-worker bootstrap scaling table, with CI
 // archiving the report as BENCH_table2.json.
 //
 // # Serving runtime

@@ -41,13 +41,19 @@
 // to end.
 //
 // The table2 experiment measures the Montgomery-domain ring core against the
-// retained Barrett reference kernels and runs the S=3 factored bootstrap,
-// printing a JSON report (archived by CI as BENCH_table2.json) and exiting
-// non-zero if the geomean kernel speedup misses 1.3x, precision leaves the
-// budget, or no working level remains after refresh. By default it runs a
-// scaled-down LogN=12 smoke instance; -full selects the real N=2^17 Table 2
-// paper instance (minutes of runtime, several GiB of keys — the bench
-// workflow's job, not the PR gate's).
+// retained Barrett reference kernels, the fused radix-4 NTT/iNTT row kernels
+// against the per-stage radix-2 kernels they replaced (single-threaded, with
+// ns/butterfly and effective GB/s per transform), and runs the S=3 factored
+// bootstrap followed by a 1/2/4/8-worker scaling table (-scaling=false skips
+// the scaling re-runs). It prints a JSON report (archived by CI as
+// BENCH_table2.json) and exits non-zero if the geomean Montgomery speedup
+// misses 1.3x, the fused radix-4 geomean misses its floor (1.25x full, 1.05x
+// smoke), precision leaves the budget at any worker count, no working level
+// remains after refresh, or — full mode on a >= 8-CPU host — the 8-worker
+// bootstrap is not >= 4x faster than the same run's 1-worker row. By default
+// it runs a scaled-down LogN=12 smoke instance; -full selects the real
+// N=2^17 Table 2 paper instance (minutes of runtime, several GiB of keys —
+// the bench workflow's job, not the PR gate's).
 //
 // The -cpuprofile/-memprofile flags write pprof profiles for any experiment
 // (the heap profile is captured after the experiment returns). Profiles are
@@ -89,6 +95,7 @@ func main() {
 	duration := flag.Duration("duration", 5*time.Second, "load duration for -experiment serve")
 	serveAddr := flag.String("addr", "", "for -experiment serve: drive an already-running btsserve at this address instead of an in-process daemon")
 	full := flag.Bool("full", false, "for -experiment table2: run the real N=2^17 paper instance instead of the scaled-down smoke instance")
+	scaling := flag.Bool("scaling", true, "for -experiment table2: append the 1/2/4/8-worker bootstrap scaling table (disable to time a single worker count only)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file when the experiment completes")
 	flag.Parse()
@@ -155,7 +162,7 @@ func main() {
 		ran = true
 	}
 	if *which == "table2" {
-		table2Bench(*workers, *full)
+		table2Bench(*workers, *full, *scaling)
 		ran = true
 	}
 	if *which == "serve" {

@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"runtime"
 	"time"
 
 	"bts/internal/ckks"
@@ -17,15 +18,25 @@ import (
 )
 
 // table2Report is the JSON document `-experiment table2` writes to stdout
-// (CI archives it as BENCH_table2.json). It has two halves:
+// (CI archives it as BENCH_table2.json). It has three halves:
 //
 //   - A ring-kernel sweep at the instance's top level comparing the
 //     Montgomery-domain production kernels against the retained Barrett
 //     reference loops (internal/ring/reference.go) under the same engine
-//     dispatch. The CI gate demands a geometric-mean speedup ≥ 1.3×.
+//     dispatch. The CI gate demands a geometric-mean speedup ≥ 1.3×. The
+//     NTT/iNTT rows additionally report ns per radix-2-equivalent butterfly
+//     and the effective algorithmic stream rate in GB/s.
+//   - A single-thread fused-kernel sweep comparing the radix-4 merged
+//     two-layer NTT/iNTT row kernels against the per-stage scalar radix-2
+//     kernels they replaced. The CI gate demands a geomean speedup ≥ 1.25×
+//     in full mode (the smoke instance's small rows amortize the fusion less,
+//     so its floor is looser).
 //   - A full S=3 factored bootstrap on the instance — end-to-end wall time,
 //     output precision and level, the measured key-switch op mix, and the
-//     internal/sim calibration cross-check of that mix.
+//     internal/sim calibration cross-check of that mix — followed (unless
+//     -scaling=false) by a worker-scaling table re-running the bootstrap at
+//     1/2/4/8 workers. On full-mode runs on hosts with ≥ 8 CPUs the 8-worker
+//     row must be ≥ 4× faster than the same run's 1-worker row.
 //
 // Mode "smoke" (the default, what the PR CI job runs) exercises the same
 // code paths on a scaled-down LogN=12 instance; mode "full" (-full) runs the
@@ -35,10 +46,17 @@ type table2Report struct {
 	Experiment string         `json:"experiment"`
 	Mode       string         `json:"mode"`
 	Workers    int            `json:"workers"`
+	HostCPUs   int            `json:"host_cpus"`
 	Params     map[string]any `json:"params"`
 
 	Kernels        []kernelResult `json:"kernels"`
 	GeomeanSpeedup float64        `json:"geomean_speedup"`
+
+	// FusedKernels compares the fused radix-4 row kernels against the
+	// retained per-stage radix-2 kernels, single-threaded (serial engine), so
+	// the number is the pure kernel gain with no dispatch effects.
+	FusedKernels        []fusedKernelResult `json:"fused_kernels"`
+	FusedGeomeanSpeedup float64             `json:"fused_geomean_speedup"`
 
 	// TelemetryOverhead is the geomean slowdown of the Montgomery kernel
 	// sweep with engine/pool telemetry attached, relative to the plain run
@@ -49,6 +67,13 @@ type table2Report struct {
 
 	Bootstrap table2Bootstrap `json:"bootstrap"`
 
+	// Scaling is the worker-scaling table: the same bootstrap re-timed at
+	// 1/2/4/8 workers, each row's speedup relative to the table's 1-worker
+	// row. Omitted when -scaling=false (the bench workflow's 1-worker
+	// archive run skips it — five paper-instance bootstraps on one core is
+	// an hour of redundant wall-clock).
+	Scaling []scalingEntry `json:"scaling,omitempty"`
+
 	// Calibration is the software-vs-simulator cross-check of the measured
 	// bootstrap op mix (hoisted rotations counted separately, as in the
 	// bootstrap experiment).
@@ -57,12 +82,40 @@ type table2Report struct {
 	Pass bool `json:"pass"`
 }
 
-// kernelResult is one row of the Montgomery-vs-Barrett kernel sweep.
+// kernelResult is one row of the Montgomery-vs-Barrett kernel sweep. The
+// butterfly metrics are only meaningful for the transform kernels (NTT,
+// INTT) and are zero elsewhere: ns/butterfly normalizes the Montgomery time
+// by the (level+1)·(N/2)·log2(N) radix-2-equivalent butterflies of the full
+// transform, and the GB/s figure is the algorithmic stream traffic (one
+// 8-byte load + one store per coefficient per radix-2 stage) over the same
+// time — fused kernels touch memory less often than the algorithmic count,
+// so beating DRAM bandwidth here is expected, not an error.
 type kernelResult struct {
-	Kernel       string  `json:"kernel"`
-	MontgomeryMs float64 `json:"montgomery_ms"`
-	BarrettMs    float64 `json:"barrett_ms"`
-	Speedup      float64 `json:"speedup"`
+	Kernel         string  `json:"kernel"`
+	MontgomeryMs   float64 `json:"montgomery_ms"`
+	BarrettMs      float64 `json:"barrett_ms"`
+	Speedup        float64 `json:"speedup"`
+	NsPerButterfly float64 `json:"ns_per_butterfly,omitempty"`
+	EffectiveGBs   float64 `json:"effective_gbps,omitempty"`
+}
+
+// fusedKernelResult is one row of the single-thread fused radix-4 vs
+// per-stage radix-2 sweep; the butterfly metrics describe the radix-4 side.
+type fusedKernelResult struct {
+	Kernel         string  `json:"kernel"`
+	Radix4Ms       float64 `json:"radix4_ms"`
+	Radix2Ms       float64 `json:"radix2_ms"`
+	Speedup        float64 `json:"speedup"`
+	NsPerButterfly float64 `json:"radix4_ns_per_butterfly"`
+	EffectiveGBs   float64 `json:"radix4_effective_gbps"`
+}
+
+// scalingEntry is one row of the bootstrap worker-scaling table.
+type scalingEntry struct {
+	Workers     int     `json:"workers"`
+	BootstrapMs float64 `json:"bootstrap_ms"`
+	Speedup     float64 `json:"speedup_vs_1_worker"`
+	MaxErr      float64 `json:"max_err"`
 }
 
 // table2Bootstrap describes the measured S=3 factored bootstrap run.
@@ -123,12 +176,14 @@ func table2SmokeLiteral() (ckks.ParametersLiteral, ckks.BootstrapParams, params.
 	return lit, bp, inst
 }
 
-// table2Bench runs the Montgomery kernel sweep and the S=3 factored
-// bootstrap, printing the JSON report and exiting non-zero if the geomean
-// kernel speedup misses 1.3×, the bootstrap precision leaves its budget, or
-// the refreshed ciphertext has no working level left.
-func table2Bench(workers int, full bool) {
-	rep, err := runTable2Bench(workers, full)
+// table2Bench runs the Montgomery and fused-radix-4 kernel sweeps and the
+// S=3 factored bootstrap (plus, with scaling, the 1/2/4/8-worker scaling
+// table), printing the JSON report and exiting non-zero if any gate fails:
+// Montgomery geomean < 1.3×, fused geomean below its mode's floor, bootstrap
+// precision out of budget, no working level left, or — full mode on a ≥
+// 8-CPU host — the 8-worker bootstrap under 4× the 1-worker time.
+func table2Bench(workers int, full, scaling bool) {
+	rep, err := runTable2Bench(workers, full, scaling)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "table2 bench: %v\n", err)
 		os.Exit(1)
@@ -136,12 +191,12 @@ func table2Bench(workers int, full bool) {
 	out, _ := json.MarshalIndent(rep, "", "  ")
 	fmt.Println(string(out))
 	if !rep.Pass {
-		fmt.Fprintln(os.Stderr, "table2 bench: contract violated (kernel speedup, precision, or level budget)")
+		fmt.Fprintln(os.Stderr, "table2 bench: contract violated (kernel speedup, scaling, precision, or level budget)")
 		os.Exit(1)
 	}
 }
 
-func runTable2Bench(workers int, full bool) (*table2Report, error) {
+func runTable2Bench(workers int, full, scaling bool) (*table2Report, error) {
 	var (
 		lit  ckks.ParametersLiteral
 		bp   ckks.BootstrapParams
@@ -169,6 +224,7 @@ func runTable2Bench(workers int, full bool) (*table2Report, error) {
 		Experiment: "table2",
 		Mode:       mode,
 		Workers:    workers,
+		HostCPUs:   runtime.NumCPU(),
 		Params: map[string]any{
 			"logN":       p.LogN,
 			"L":          p.MaxLevel(),
@@ -190,6 +246,14 @@ func runTable2Bench(workers int, full bool) (*table2Report, error) {
 		logSum += math.Log(k.Speedup)
 	}
 	rep.GeomeanSpeedup = math.Exp(logSum / float64(len(rep.Kernels)))
+
+	// ---- Fused sweep: radix-4 row kernels vs per-stage radix-2, serial.
+	rep.FusedKernels = fusedSweep(ctx.RingQ, p.MaxLevel())
+	logSum = 0.0
+	for _, k := range rep.FusedKernels {
+		logSum += math.Log(k.Speedup)
+	}
+	rep.FusedGeomeanSpeedup = math.Exp(logSum / float64(len(rep.FusedKernels)))
 
 	// ---- Telemetry overhead: re-run the Montgomery sweep with engine and
 	// pool counters attached and compare geomeans.
@@ -288,22 +352,81 @@ func runTable2Bench(workers int, full bool) (*table2Report, error) {
 	}
 	rep.Calibration = sim.CrossCheckBootstrap(workload.BootstrapTrace(inst, shape), mix, 0)
 
+	const errBudget = 2e-2
+
+	// ---- Worker-scaling table: the same bootstrap at 1/2/4/8 workers.
+	// Workers beyond the host's cores still run (the engine oversubscribes
+	// harmlessly), so the table is always complete; the ≥4× gate below only
+	// arms where the hardware can deliver it.
+	if scaling {
+		for _, w := range []int{1, 2, 4, 8} {
+			ctx.SetWorkers(w)
+			pt, err := encoder.Encode(values, 0, p.Scale)
+			if err != nil {
+				return nil, err
+			}
+			ct, err := enc.EncryptNew(pt)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			out, err := bt.Bootstrap(ct)
+			if err != nil {
+				return nil, err
+			}
+			elapsed := time.Since(start).Seconds() * 1e3
+			entry := scalingEntry{
+				Workers:     w,
+				BootstrapMs: elapsed,
+				Speedup:     1,
+				MaxErr:      maxAbsErrC(encoder.Decode(dec.DecryptNew(out)), values),
+			}
+			ctx.PutCiphertext(out)
+			if len(rep.Scaling) > 0 {
+				entry.Speedup = rep.Scaling[0].BootstrapMs / elapsed
+			}
+			rep.Scaling = append(rep.Scaling, entry)
+			if entry.MaxErr > errBudget {
+				rep.Pass = false
+			}
+		}
+		ctx.SetWorkers(workers)
+	}
+
 	// Gates: the Montgomery core must clear 1.3× geomean over the Barrett
-	// loops, telemetry must not cost more than 2% on the same kernels, the
-	// refreshed ciphertext must decode within the precision budget, and at
-	// least one working level must remain after refresh.
+	// loops, the fused radix-4 kernels must clear their geomean floor over
+	// radix-2 (1.25× on the paper instance; the smoke rows are too short to
+	// amortize fusion fully, so smoke only demands no regression past 1.05×),
+	// telemetry must not cost more than 2% on the same kernels, the refreshed
+	// ciphertext must decode within the precision budget at every worker
+	// count, at least one working level must remain after refresh, and — on a
+	// host that can actually deliver it — the 8-worker bootstrap must land
+	// ≥ 4× under the 1-worker time.
 	if rep.GeomeanSpeedup < 1.3 {
+		rep.Pass = false
+	}
+	fusedFloor := 1.05
+	if full {
+		fusedFloor = 1.25
+	}
+	if rep.FusedGeomeanSpeedup < fusedFloor {
 		rep.Pass = false
 	}
 	if rep.TelemetryOverhead > 0.02 {
 		rep.Pass = false
 	}
-	const errBudget = 2e-2
 	if rep.Bootstrap.MaxErr > errBudget {
 		rep.Pass = false
 	}
 	if rep.Bootstrap.Level < 1 {
 		rep.Pass = false
+	}
+	if scaling && full && runtime.NumCPU() >= 8 {
+		for _, e := range rep.Scaling {
+			if e.Workers == 8 && e.Speedup < 4 {
+				rep.Pass = false
+			}
+		}
 	}
 	return rep, nil
 }
@@ -390,7 +513,72 @@ func kernelSweep(r *ring.Ring, level int) []kernelResult {
 	for _, k := range kernels {
 		m := best(k.mont)
 		bb := best(k.barr)
-		res = append(res, kernelResult{Kernel: k.name, MontgomeryMs: m, BarrettMs: bb, Speedup: bb / m})
+		row := kernelResult{Kernel: k.name, MontgomeryMs: m, BarrettMs: bb, Speedup: bb / m}
+		if k.name == "NTT" || k.name == "INTT" {
+			row.NsPerButterfly, row.EffectiveGBs = butterflyMetrics(r, level, m)
+		}
+		res = append(res, row)
+	}
+	return res
+}
+
+// butterflyMetrics normalizes a full-transform time (all level+1 limbs) by
+// the radix-2-equivalent work: (N/2)·log2(N) butterflies per limb, and the
+// algorithmic stream traffic of one 8-byte load plus one store per
+// coefficient per radix-2 stage. Both are *algorithmic* counts — the fused
+// radix-4 kernels do the same butterflies with half the memory passes, which
+// is exactly what these normalized figures are meant to surface.
+func butterflyMetrics(r *ring.Ring, level int, ms float64) (nsPerBfly, gbps float64) {
+	butterflies := float64(level+1) * float64(r.N/2) * float64(r.LogN)
+	bytes := 16 * float64(r.N) * float64(level+1) * float64(r.LogN)
+	return ms * 1e6 / butterflies, bytes / (ms * 1e-3) / 1e9
+}
+
+// fusedSweep times the production fused radix-4 row kernels against the
+// retained per-stage radix-2 kernels on a serial engine (the engine is
+// restored on return), so the ratio is the pure single-thread kernel gain
+// the issue's ≥1.25× acceptance bar refers to. Timing protocol matches
+// kernelSweep: one warm-up, then best-of-3.
+func fusedSweep(r *ring.Ring, level int) []fusedKernelResult {
+	saved := r.Exec()
+	r.SetEngine(nil)
+	defer r.SetEngine(saved)
+
+	rng := rand.New(rand.NewSource(9305))
+	scratch := r.NewPolyLevel(level)
+	r.SampleUniform(rng, scratch, level)
+
+	best := func(f func()) float64 {
+		bestMs := 0.0
+		f() // warm-up: fused twiddle tables, pools
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			f()
+			if el := time.Since(start).Seconds() * 1e3; bestMs == 0 || el < bestMs {
+				bestMs = el
+			}
+		}
+		return bestMs
+	}
+
+	kernels := []struct {
+		name   string
+		r4, r2 func()
+	}{
+		{"NTT",
+			func() { r.NTT(scratch, level) },
+			func() { r.NTTRadix2(scratch, level) }},
+		{"INTT",
+			func() { r.INTT(scratch, level) },
+			func() { r.INTTRadix2(scratch, level) }},
+	}
+	res := make([]fusedKernelResult, 0, len(kernels))
+	for _, k := range kernels {
+		m4 := best(k.r4)
+		m2 := best(k.r2)
+		row := fusedKernelResult{Kernel: k.name, Radix4Ms: m4, Radix2Ms: m2, Speedup: m2 / m4}
+		row.NsPerButterfly, row.EffectiveGBs = butterflyMetrics(r, level, m4)
+		res = append(res, row)
 	}
 	return res
 }

@@ -113,7 +113,10 @@ func TestLinearTransformParallelEquivalence(t *testing.T) {
 // ciphertext, the regime where coefficient-block sharding carries the
 // pipeline's tail — must be bit-identical to the serial run with workers > 1
 // alone and with coefficient-block sharding forced on (a block size far
-// below the default floor so sharding engages at the test's small N).
+// below the default floor so sharding engages at the test's small N). The
+// 8-worker rows exercise a pool wider than the limb count, where the fused
+// radix-4 row path and the sharded per-stage radix-2 path mix within one
+// bootstrap.
 func TestBootstrapParallelEquivalence(t *testing.T) {
 	if testing.Short() {
 		t.Skip("bootstrap equivalence skipped with -short")
@@ -126,6 +129,8 @@ func TestBootstrapParallelEquivalence(t *testing.T) {
 		{0, 0},  // serial reference
 		{4, 0},  // limb-parallel, default block floor
 		{4, 64}, // limb × coefficient-block sharded
+		{8, 0},  // wide pool: rows oversubscribe limbs at low levels
+		{8, 64}, // wide pool with sharding forced on — the full staged schedule
 	} {
 		s, bt := bootSetup(t)
 		s.ctx.SetWorkers(cfg.workers)

@@ -27,13 +27,33 @@
 // Serialization converts at the wire boundary, so encoded bytes carry true
 // canonical residues.
 //
+// # Kernel hierarchy
+//
+// The negacyclic transforms come in three tiers, each pinned bit-identical
+// to the next by the test suite:
+//
+//   - Barrett reference (reference.go): plain-residue radix-2 loops with no
+//     lazy reduction — the slow, obviously-correct oracle every production
+//     kernel is compared against.
+//   - Scalar Montgomery radix-2 (NTTRadix2/INTTRadix2 and the
+//     nttStageRange/inttStageRange per-stage bodies): one REDC-lazy twiddle
+//     multiply per butterfly, values held < 2q, one normalization pass at
+//     the end. The per-stage form is what the sharded schedule dispatches.
+//   - Fused radix-4 (nttRowRadix4/inttRowRadix4): two consecutive radix-2
+//     layers merged into one pass over the row, four coefficients per
+//     butterfly, twiddle triples interleaved per group
+//     (mod.FusedNTTTwiddles), intermediates on a widened [0, 4q) lazy
+//     window. This is the production row kernel.
+//
 // All kernels dispatch through a two-dimensional execution engine (Engine,
 // see exec.go) that parallelizes across RNS limbs and, when the active limbs
 // alone cannot occupy every worker, across contiguous coefficient blocks
 // within each residue row — so speedup does not saturate at the limb count
 // (level+1): low-level ciphertexts keep the whole pool busy, exactly as the
-// paper's PE grid distributes both limbs and coefficients. Outputs are
-// bit-identical to serial execution at every (worker, block) configuration.
+// paper's PE grid distributes both limbs and coefficients. Full rows take
+// the fused radix-4 kernel; sharded rows run the per-stage radix-2 schedule
+// with barriers between stages. Outputs are bit-identical to serial
+// execution at every (worker, block) configuration.
 package ring
 
 import (
@@ -65,6 +85,13 @@ type Modulus struct {
 	psiRev    []uint64
 	psiInvRev []uint64
 	nInvM     uint64 // N^-1 in Montgomery form, the iNTT scaling constant
+
+	// Fused radix-4 twiddle triples (mod.FusedNTTTwiddles layout): entry k
+	// interleaves the one first-layer and two second-layer twiddles of
+	// merged butterfly group k, so the radix-4 row kernels stream one table
+	// instead of gathering from two halves of psiRev/psiInvRev per group.
+	psiFused    []uint64
+	psiInvFused []uint64
 
 	// refOnce lazily builds the plain-form Barrett reference twiddles used
 	// only by the reference kernels (bit-identity tests, bench baselines).
@@ -189,6 +216,8 @@ func newModulus(q uint64, logN int, brv []int) (*Modulus, error) {
 		powPsi = m.BRed.Mul(powPsi, m.Psi)
 		powPsiInv = m.BRed.Mul(powPsiInv, m.PsiInv)
 	}
+	m.psiFused = mod.FusedNTTTwiddles(m.psiRev)
+	m.psiInvFused = mod.FusedINTTTwiddles(m.psiInvRev)
 	return m, nil
 }
 
